@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench regenerates one experiment from DESIGN.md's per-experiment
+index, prints its table, and archives it under ``benchmarks/results/``
+so EXPERIMENTS.md can quote the exact rows.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sim.harness import ExperimentTable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def publish(table: ExperimentTable, filename: str) -> None:
+    """Print the table and archive it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = table.render()
+    print()
+    print(text)
+    with open(os.path.join(RESULTS_DIR, filename), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,69 @@
+"""Quickstart: one peer, one document, transactions with dynamic compensation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AXMLDocument, AXMLPeer, SimNetwork
+
+def main() -> None:
+    # An AXML peer hosts XML documents and exposes query/update services.
+    network = SimNetwork()
+    peer = AXMLPeer("AP1", network)
+    shop = peer.host_document(
+        AXMLDocument.from_xml(
+            """
+            <Shop>
+              <item id="1"><name>keyboard</name><price>45</price></item>
+              <item id="2"><name>mouse</name><price>19</price></item>
+            </Shop>
+            """,
+            name="Shop",
+        )
+    )
+    print("initial document:")
+    print(shop.to_pretty(), "\n")
+
+    # --- a transaction that commits -----------------------------------
+    txn = peer.begin_transaction()
+    peer.submit(
+        txn.txn_id,
+        '<action type="replace"><data><price>39</price></data>'
+        "<location>Select i/price from i in Shop//item "
+        "where i/name = keyboard;</location></action>",
+    )
+    peer.submit(
+        txn.txn_id,
+        '<action type="insert"><data><item id="3"><name>cable</name>'
+        "<price>5</price></item></data>"
+        "<location>Select s from s in Shop;</location></action>",
+    )
+    peer.commit(txn.txn_id)
+    print(f"after committing {txn.txn_id}:")
+    print(shop.to_pretty(), "\n")
+
+    # --- a transaction that aborts -------------------------------------
+    # The paper's point (§3.1): compensation is *constructed at run time*
+    # from the operation log — deleted subtrees are re-inserted from their
+    # logged snapshots, inserts are deleted by their returned node ids.
+    txn2 = peer.begin_transaction()
+    peer.submit(
+        txn2.txn_id,
+        '<action type="delete"><location>Select i from i in Shop//item '
+        "where i/price > 20;</location></action>",
+    )
+    peer.submit(
+        txn2.txn_id,
+        '<action type="replace"><data><name>trackball</name></data>'
+        "<location>Select i/name from i in Shop//item "
+        "where i/name = mouse;</location></action>",
+    )
+    print(f"inside {txn2.txn_id} (keyboard gone, mouse renamed):")
+    print(shop.to_pretty(), "\n")
+
+    peer.abort(txn2.txn_id)
+    print(f"after aborting {txn2.txn_id} (state restored by compensation):")
+    print(shop.to_pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+"""Continuous (periodic / subscription) services.
+
+§1: "An embedded service call may be invoked (or materialized) … 2)
+periodically (specified by the 'frequency' attribute of the AXML service
+call tag)."  §3.3(d) builds on the same machinery: "subscription based
+continuous services … are responsible for sending updated (streams of)
+data at regular intervals", and a sibling detects a disconnection "if it
+doesn't receive data at the specified interval".
+
+:class:`ContinuousDriver` schedules periodic materialization of every
+``frequency``-carrying call of a document on the simulation's event
+queue.  :class:`StreamSubscription` models the §3.3(d) direct
+sibling-to-sibling data flow: a consumer that notices the producer's
+silence and reports it through the peer's chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.axml.document import AXMLDocument
+from repro.axml.materialize import MaterializationEngine, Resolver
+from repro.axml.service_call import ServiceCall
+from repro.errors import MaterializationError, PeerDisconnected, ServiceFault
+from repro.sim.kernel import EventQueue
+from repro.xmlstore.nodes import NodeId
+
+
+@dataclass
+class TickRecord:
+    """One periodic materialization attempt."""
+
+    time: float
+    method_name: str
+    succeeded: bool
+    records: int = 0
+
+
+class ContinuousDriver:
+    """Drives the periodic calls of one document on an event queue.
+
+    Each call with a ``frequency`` attribute is re-materialized every
+    ``frequency`` simulated seconds until :meth:`stop` (or until the
+    call element disappears from the document — e.g. compensated away).
+    Failures of a tick are recorded, not raised: a periodic refresh that
+    fails simply retries at the next tick (the §3.2 machinery only kicks
+    in for transactional invocations).
+    """
+
+    def __init__(
+        self,
+        axml_document: AXMLDocument,
+        resolver: Resolver,
+        events: EventQueue,
+        on_tick: Optional[Callable[[TickRecord], None]] = None,
+    ):
+        self.axml_document = axml_document
+        self.resolver = resolver
+        self.events = events
+        self.on_tick = on_tick
+        self.history: List[TickRecord] = []
+        self._running: Dict[NodeId, bool] = {}
+
+    def start(self) -> int:
+        """Schedule every continuous call; returns how many were found."""
+        calls = self.axml_document.continuous_calls()
+        for call in calls:
+            self._running[call.call_id] = True
+            self._schedule(call.call_id, call.frequency or 1.0)
+        return len(calls)
+
+    def stop(self, call_id: Optional[NodeId] = None) -> None:
+        """Stop one call's ticks (or all of them)."""
+        if call_id is None:
+            for key in self._running:
+                self._running[key] = False
+            return
+        self._running[call_id] = False
+
+    def tick_count(self, method_name: Optional[str] = None) -> int:
+        return sum(
+            1
+            for record in self.history
+            if method_name is None or record.method_name == method_name
+        )
+
+    def _schedule(self, call_id: NodeId, period: float) -> None:
+        self.events.schedule(period, lambda: self._tick(call_id, period))
+
+    def _tick(self, call_id: NodeId, period: float) -> None:
+        if not self._running.get(call_id):
+            return
+        document = self.axml_document.document
+        if not document.has_node(call_id):
+            self._running[call_id] = False
+            return
+        element = document.get_node(call_id)
+        if not element.is_attached():
+            # The call was compensated/deleted: subscription lapses.
+            self._running[call_id] = False
+            return
+        call = ServiceCall(element)
+        engine = MaterializationEngine(self.axml_document, self.resolver)
+        try:
+            report = engine.materialize_call(call)
+            record = TickRecord(
+                self.events.clock.now,
+                call.method_name,
+                succeeded=True,
+                records=len(report.change_records()),
+            )
+        except (ServiceFault, PeerDisconnected, MaterializationError):
+            record = TickRecord(
+                self.events.clock.now, call.method_name, succeeded=False
+            )
+        self.history.append(record)
+        if self.on_tick is not None:
+            self.on_tick(record)
+        self._schedule(call_id, period)
+
+
+@dataclass
+class StreamSubscription:
+    """A §3.3(d) sibling data stream: producer pushes, consumer watches.
+
+    The consumer expects one datum every ``interval`` seconds.  The
+    simulation delivers via :meth:`deliver`; :meth:`check` (scheduled by
+    the consumer peer) compares the last delivery time against the
+    interval plus ``grace`` and fires ``on_silence`` once when the
+    producer has gone quiet — the §3.3(d) detection trigger.
+    """
+
+    producer_peer: str
+    consumer_peer: str
+    interval: float
+    grace: float = 0.5
+    last_delivery: float = 0.0
+    delivered: int = 0
+    silent: bool = False
+    on_silence: Optional[Callable[[str], None]] = None
+
+    def deliver(self, now: float) -> None:
+        self.last_delivery = now
+        self.delivered += 1
+        self.silent = False
+
+    def check(self, now: float) -> bool:
+        """Returns True (and fires the callback once) when the stream is
+        overdue."""
+        if self.silent:
+            return True
+        overdue = now - self.last_delivery > self.interval * (1 + self.grace)
+        if overdue:
+            self.silent = True
+            if self.on_silence is not None:
+                self.on_silence(self.producer_peer)
+        return overdue

@@ -1,0 +1,33 @@
+"""Baselines the paper argues against, implemented for comparison.
+
+* :mod:`repro.baselines.static_compensation` — pre-defined compensation
+  handlers (the state of the art §3.1 says is infeasible for AXML);
+* :mod:`repro.baselines.snapshot_rollback` — traditional whole-document
+  undo via snapshots;
+* :mod:`repro.baselines.naive_disconnect` — disconnection handling
+  without chaining (detection only by the direct parent, no reuse);
+* :mod:`repro.baselines.two_phase_commit` — blocking atomic commit.
+"""
+
+from repro.baselines.static_compensation import (
+    StaticCompensator,
+    StaticHandler,
+    CoverageReport,
+)
+from repro.baselines.snapshot_rollback import SnapshotRollback
+from repro.baselines.naive_disconnect import build_naive_variant
+from repro.baselines.two_phase_commit import TwoPhaseCoordinator, TwoPhaseOutcome
+from repro.baselines.lock_manager import LockConflict, LockManager, LockMode
+
+__all__ = [
+    "StaticCompensator",
+    "StaticHandler",
+    "CoverageReport",
+    "SnapshotRollback",
+    "build_naive_variant",
+    "TwoPhaseCoordinator",
+    "TwoPhaseOutcome",
+    "LockConflict",
+    "LockManager",
+    "LockMode",
+]

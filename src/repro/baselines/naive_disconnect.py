@@ -1,0 +1,32 @@
+"""Disconnection handling without chaining — the §3.3 baseline.
+
+Without the active-peer list, a peer only knows its direct parent and
+the children it invoked itself: "Traditional recovery would lead to AP6
+(aborting) discarding its work and actual recovery occurring only when
+the disconnection is detected by peer AP2."  Concretely:
+
+* a child whose parent died has nowhere to send results — work
+  discarded;
+* a parent detecting a child's death cannot inform the orphaned
+  descendants — they keep burning effort on a doomed transaction;
+* no reuse is ever possible.
+
+The behaviour is already implemented in :class:`repro.p2p.peer.AXMLPeer`
+under ``chaining=False``; this module provides the one-flag scenario
+variant builder the benchmarks use for side-by-side runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.sim.scenarios import Scenario, build_topology
+
+
+def build_naive_variant(
+    topology: Dict[str, List[Tuple[str, str]]], **kwargs
+) -> Scenario:
+    """The same deployment as :func:`repro.sim.scenarios.build_topology`
+    with chaining disabled on every peer."""
+    kwargs["chaining"] = False
+    return build_topology(topology, **kwargs)

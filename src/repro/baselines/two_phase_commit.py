@@ -1,0 +1,107 @@
+"""Blocking two-phase commit over AXML peers.
+
+Strict atomicity's classical answer.  Under P2P churn it exhibits the
+failure mode that motivates the paper's *relaxed* atomicity: a
+participant disconnecting between PREPARE and the decision leaves the
+transaction blocked (prepared participants must hold their locks/state
+until the coordinator's decision can reach everyone).  The E-series
+benchmarks contrast its blocked-transaction rate with the compensation
+framework's always-terminating (if occasionally ``abort_incomplete``)
+behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.p2p.network import SimNetwork
+
+
+class TwoPhaseOutcome(enum.Enum):
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    #: A participant prepared but became unreachable before the decision
+    #: was delivered: it holds its state indefinitely.
+    BLOCKED = "blocked"
+
+
+@dataclass
+class TwoPhaseRecord:
+    """The audit trail of one 2PC round."""
+
+    txn_id: str
+    outcome: TwoPhaseOutcome
+    prepared: List[str] = field(default_factory=list)
+    refused: List[str] = field(default_factory=list)
+    unreachable_at_prepare: List[str] = field(default_factory=list)
+    undelivered_decisions: List[str] = field(default_factory=list)
+
+
+class TwoPhaseCoordinator:
+    """A minimal blocking-2PC coordinator on the simulated network.
+
+    Participants are modelled as vote sources: alive peers vote yes
+    (votes can be forced for fault experiments); the coordinator then
+    pushes the decision.  Any prepared participant the decision cannot
+    reach blocks the transaction.
+    """
+
+    def __init__(self, network: SimNetwork, coordinator_peer: str):
+        self.network = network
+        self.coordinator_peer = coordinator_peer
+        #: Scripted no-votes: peers that will refuse to prepare.
+        self.no_voters: set = set()
+        self.records: List[TwoPhaseRecord] = []
+
+    def force_no_vote(self, peer_id: str) -> None:
+        self.no_voters.add(peer_id)
+
+    def run(self, txn_id: str, participants: Sequence[str]) -> TwoPhaseRecord:
+        """Execute one PREPARE/decision round; returns the audit record."""
+        record = TwoPhaseRecord(txn_id, TwoPhaseOutcome.ABORTED)
+        # Phase 1: PREPARE.
+        all_yes = True
+        for peer_id in participants:
+            self.network.metrics.record_message("prepare")
+            self.network.clock.advance(2 * self.network.hop_latency)
+            if not self.network.is_alive(peer_id):
+                record.unreachable_at_prepare.append(peer_id)
+                all_yes = False
+                continue
+            if peer_id in self.no_voters:
+                record.refused.append(peer_id)
+                all_yes = False
+                continue
+            record.prepared.append(peer_id)
+        decision = (
+            TwoPhaseOutcome.COMMITTED
+            if all_yes and record.prepared
+            else TwoPhaseOutcome.ABORTED
+        )
+        # Phase 2: deliver the decision to every prepared participant.
+        for peer_id in record.prepared:
+            self.network.metrics.record_message("decision")
+            self.network.clock.advance(self.network.hop_latency)
+            if not self.network.is_alive(peer_id):
+                # Prepared but unreachable: it cannot release its state.
+                record.undelivered_decisions.append(peer_id)
+        if record.undelivered_decisions:
+            record.outcome = TwoPhaseOutcome.BLOCKED
+            self.network.metrics.incr("twophase_blocked")
+        else:
+            record.outcome = decision
+        self.records.append(record)
+        self.network.metrics.record_txn_outcome(
+            txn_id, f"2pc_{record.outcome.value}"
+        )
+        return record
+
+    def blocked_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        blocked = sum(
+            1 for r in self.records if r.outcome is TwoPhaseOutcome.BLOCKED
+        )
+        return blocked / len(self.records)

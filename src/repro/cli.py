@@ -1,0 +1,203 @@
+"""Command-line interface: run the paper's scenarios from a shell.
+
+Examples::
+
+    python -m repro atplist --query A
+    python -m repro fig1 --fault AP5:S5 --handler AP3:S5
+    python -m repro fig2 --case b
+    python -m repro fig2 --case b --no-chaining
+    python -m repro spheres --super-fraction 0.5 --transactions 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sim.scenarios import (
+    QUERY_A,
+    QUERY_B,
+    build_atplist_scenario,
+    build_fig1,
+    build_fig2,
+    run_root_transaction,
+)
+from repro.txn.recovery import DISCONNECT_FAULT, FaultPolicy
+
+
+def _print_metrics(scenario) -> None:
+    print("\nmetrics:")
+    for key, value in sorted(scenario.metrics.snapshot().items()):
+        print(f"  {key} = {value}")
+    if scenario.metrics.txn_outcomes:
+        print(f"  outcomes = {scenario.metrics.txn_outcomes}")
+
+
+def cmd_atplist(args: argparse.Namespace) -> int:
+    """Run a §3.1 worked-example query, optionally aborting it."""
+    scenario = build_atplist_scenario()
+    peer = scenario.peer("AP1")
+    document = peer.get_axml_document("ATPList")
+    query = QUERY_A if args.query == "A" else QUERY_B
+    txn = peer.begin_transaction()
+    outcome = peer.submit(
+        txn.txn_id, f'<action type="query"><location>{query}</location></action>'
+    )
+    print(f"query {args.query}: {query}")
+    print("materialized:", outcome.materialization.methods())
+    print("results:", outcome.query_result.texts())
+    if args.abort:
+        peer.abort(txn.txn_id)
+        print("aborted: document restored by dynamic compensation")
+    else:
+        peer.commit(txn.txn_id)
+    print("\ndocument now:")
+    print(document.to_pretty())
+    _print_metrics(scenario)
+    return 0
+
+
+def _parse_peer_method(raw: str) -> tuple:
+    peer_id, _, method = raw.partition(":")
+    if not peer_id or not method:
+        raise SystemExit(f"expected PEER:METHOD, got {raw!r}")
+    return peer_id, method
+
+
+def cmd_fig1(args: argparse.Namespace) -> int:
+    """Run the Fig. 1 nested-recovery scenario with optional fault/handler."""
+    scenario = build_fig1(chaining=not args.no_chaining)
+    if args.fault:
+        peer_id, method = _parse_peer_method(args.fault)
+        scenario.injector.fault_service(
+            peer_id, method, "Crash", point="after_execute"
+        )
+    if args.handler:
+        peer_id, method = _parse_peer_method(args.handler)
+        scenario.peer(peer_id).set_fault_policy(
+            method, [FaultPolicy(fault_names={"Crash"}, retry_times=2)]
+        )
+    txn, error = run_root_transaction(scenario)
+    print("Fig.1 run:", "recovered/committed" if error is None else f"aborted ({error})")
+    if error is None:
+        scenario.peer("AP1").commit(txn.txn_id)
+    for peer_id, peer in scenario.peers.items():
+        doc = peer.get_axml_document(f"D{peer_id[2:]}")
+        print(f"  {peer_id}: {doc.to_xml()}")
+    _print_metrics(scenario)
+    return 0 if error is None else 1
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    """Run one of the Fig. 2 disconnection cases (b/c/d)."""
+    from repro.txn.disconnection import (
+        run_case_c_child_disconnection,
+        run_case_d_sibling_disconnection,
+    )
+
+    chaining = not args.no_chaining
+    if args.case == "b":
+        scenario = build_fig2(extra_peers=("APX",), chaining=chaining)
+        scenario.replication.replicate_service("S3", "APX")
+        scenario.replication.replicate_document("D3", "APX")
+        scenario.peer("AP2").set_fault_policy(
+            "S3",
+            [FaultPolicy(fault_names={DISCONNECT_FAULT}, retry_times=1,
+                         alternative_peer="APX")],
+        )
+        scenario.injector.disconnect_peer_during("AP3", "AP6", "S6", "after_local_work")
+        txn, error = run_root_transaction(scenario)
+        print(f"case (b) [{'chaining' if chaining else 'naive'}]: "
+              f"recovered={error is None}")
+    elif args.case == "c":
+        scenario = build_fig2(chaining=chaining)
+        txn, _ = run_root_transaction(scenario)
+        scenario.peer("AP6").add_pending_work(txn.txn_id, units=20, unit_duration=0.05)
+        if not chaining:
+            scenario.peer("AP6").known_doomed.add(txn.txn_id)
+        scenario.network.disconnect("AP3")
+        report = run_case_c_child_disconnection(scenario.peer("AP2"), txn.txn_id)
+        scenario.network.events.run_until(scenario.network.clock.now + 5.0)
+        print(f"case (c) [{'chaining' if chaining else 'naive'}]: "
+              f"informed={report.descendants_informed}")
+    else:  # d
+        scenario = build_fig2(chaining=chaining)
+        txn, _ = run_root_transaction(scenario)
+        scenario.network.disconnect("AP3")
+        report = run_case_d_sibling_disconnection(scenario.peer("AP4"), txn.txn_id, "AP3")
+        print(f"case (d) [{'chaining' if chaining else 'naive'}]: "
+              f"relatives informed={report.descendants_informed}")
+    _print_metrics(scenario)
+    return 0
+
+
+def cmd_spheres(args: argparse.Namespace) -> int:
+    """Print the spheres-of-atomicity guarantee rates for a random pool."""
+    from repro.sim.rng import SeededRng
+    from repro.sim.workload import generate_participant_sets
+    from repro.txn.spheres import sphere_guarantee_rate
+
+    pool = [f"AP{i}" for i in range(1, args.pool + 1)]
+    super_count = int(round(args.super_fraction * len(pool)))
+    super_peers = pool[:super_count]
+    rng = SeededRng(args.seed)
+    transactions = generate_participant_sets(rng, pool, args.transactions, 2, 6)
+    plain = sphere_guarantee_rate(transactions, super_peers)
+    upgraded = sphere_guarantee_rate(
+        transactions,
+        super_peers,
+        peer_independent=True,
+        replicas_on_super_peers={p: True for p in pool},
+    )
+    print(f"pool={len(pool)} super={super_count} transactions={args.transactions}")
+    print(f"guaranteed (plain):                    {plain:.3f}")
+    print(f"guaranteed (peer-indep + replicas):    {upgraded:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the ICDE'07 AXML-atomicity scenarios from the shell.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_atp = subparsers.add_parser("atplist", help="the §3.1 worked example")
+    p_atp.add_argument("--query", choices=("A", "B"), default="A")
+    p_atp.add_argument("--abort", action="store_true",
+                       help="abort instead of committing (shows compensation)")
+    p_atp.set_defaults(fn=cmd_atplist)
+
+    p_f1 = subparsers.add_parser("fig1", help="the §3.2 nested-recovery scenario")
+    p_f1.add_argument("--fault", metavar="PEER:METHOD",
+                      help="inject a fault, e.g. AP5:S5")
+    p_f1.add_argument("--handler", metavar="PEER:METHOD",
+                      help="install a retry handler, e.g. AP3:S5")
+    p_f1.add_argument("--no-chaining", action="store_true")
+    p_f1.set_defaults(fn=cmd_fig1)
+
+    p_f2 = subparsers.add_parser("fig2", help="the §3.3 disconnection cases")
+    p_f2.add_argument("--case", choices=("b", "c", "d"), default="b")
+    p_f2.add_argument("--no-chaining", action="store_true")
+    p_f2.set_defaults(fn=cmd_fig2)
+
+    p_sp = subparsers.add_parser("spheres", help="spheres-of-atomicity analysis")
+    p_sp.add_argument("--super-fraction", type=float, default=0.5)
+    p_sp.add_argument("--pool", type=int, default=20)
+    p_sp.add_argument("--transactions", type=int, default=200)
+    p_sp.add_argument("--seed", type=int, default=17)
+    p_sp.set_defaults(fn=cmd_spheres)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro-axml`` script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,298 @@
+"""Active-peer chains (§3.3).
+
+"A more efficient solution can be achieved if AP3 passes the list of
+active peers [AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]] also while
+invoking the service S6 of AP6."
+
+The chain is the invocation tree of one transaction, piggybacked on
+every invocation so that *any* peer detecting a disconnection can route
+around it: children find their grandparent or the closest super peer,
+parents find the orphaned descendants, siblings find everybody.
+
+The bracket notation round-trips through :meth:`PeerChain.to_text` /
+:meth:`PeerChain.from_text` (we write ``->`` for the arrow); super peers
+carry the paper's ``*`` suffix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import P2PError
+
+
+@dataclass
+class ChainNode:
+    """One peer in the invocation tree."""
+
+    peer_id: str
+    super_peer: bool = False
+    children: List["ChainNode"] = field(default_factory=list)
+    parent: Optional["ChainNode"] = None
+
+    def add_child(self, peer_id: str, super_peer: bool = False) -> "ChainNode":
+        child = ChainNode(peer_id, super_peer, parent=self)
+        self.children.append(child)
+        return child
+
+    def iter(self) -> Iterator["ChainNode"]:
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    @property
+    def label(self) -> str:
+        return f"{self.peer_id}*" if self.super_peer else self.peer_id
+
+
+class PeerChain:
+    """The active-peer list of one transaction."""
+
+    def __init__(self, root_peer: str, root_super: bool = False):
+        self.root = ChainNode(root_peer, root_super)
+
+    # -- construction -----------------------------------------------------
+
+    def add_invocation(
+        self, parent_peer: str, child_peer: str, child_super: bool = False
+    ) -> ChainNode:
+        """Record that *parent_peer* invoked a service on *child_peer*."""
+        parent = self.find(parent_peer)
+        if parent is None:
+            raise P2PError(f"peer {parent_peer!r} is not in the chain")
+        return parent.add_child(child_peer, child_super)
+
+    # -- lookup --------------------------------------------------------------
+
+    def find(self, peer_id: str) -> Optional[ChainNode]:
+        for node in self.root.iter():
+            if node.peer_id == peer_id:
+                return node
+        return None
+
+    def contains(self, peer_id: str) -> bool:
+        return self.find(peer_id) is not None
+
+    def parent_of(self, peer_id: str) -> Optional[str]:
+        node = self.find(peer_id)
+        if node is None or node.parent is None:
+            return None
+        return node.parent.peer_id
+
+    def children_of(self, peer_id: str) -> List[str]:
+        node = self.find(peer_id)
+        if node is None:
+            return []
+        return [c.peer_id for c in node.children]
+
+    def siblings_of(self, peer_id: str) -> List[str]:
+        """Other children of the same parent (§3.3d's data-passing peers)."""
+        node = self.find(peer_id)
+        if node is None or node.parent is None:
+            return []
+        return [c.peer_id for c in node.parent.children if c.peer_id != peer_id]
+
+    def descendants_of(self, peer_id: str) -> List[str]:
+        node = self.find(peer_id)
+        if node is None:
+            return []
+        return [n.peer_id for n in node.iter() if n.peer_id != peer_id]
+
+    def ancestors_of(self, peer_id: str) -> List[str]:
+        """Ancestors nearest-first — the fallback order of §3.3(b):
+        "AP6 can try the next closest peer (AP1) or the closest super
+        peer … in the list"."""
+        node = self.find(peer_id)
+        out: List[str] = []
+        if node is None:
+            return out
+        current = node.parent
+        while current is not None:
+            out.append(current.peer_id)
+            current = current.parent
+        return out
+
+    def closest_super_peer(self, peer_id: str) -> Optional[str]:
+        """Nearest super-peer ancestor of *peer_id* (or None)."""
+        node = self.find(peer_id)
+        if node is None:
+            return None
+        current = node.parent
+        while current is not None:
+            if current.super_peer:
+                return current.peer_id
+            current = current.parent
+        return None
+
+    # -- extended relations (the conclusion's future-work chaining) ---------
+
+    def uncles_of(self, peer_id: str) -> List[str]:
+        """Siblings of the peer's parent.
+
+        The paper's conclusion: "Currently, the 'chaining' mechanism is
+        restricted to the parent, children and sibling peers.  We are
+        exploring the feasibility of extending the same to uncles,
+        cousins, etc." — implemented here as an optional scope.
+        """
+        node = self.find(peer_id)
+        if node is None or node.parent is None:
+            return []
+        return self.siblings_of(node.parent.peer_id)
+
+    def cousins_of(self, peer_id: str) -> List[str]:
+        """Children of the peer's uncles."""
+        out: List[str] = []
+        for uncle in self.uncles_of(peer_id):
+            out.extend(self.children_of(uncle))
+        return out
+
+    def relatives_of(self, peer_id: str, scope: str = "immediate") -> List[str]:
+        """The peers the disconnection of *peer_id* should be reported to.
+
+        ``immediate`` — parent, children, siblings (the paper's §3.3
+        protocol); ``extended`` — additionally the grandparent, uncles
+        and cousins (the conclusion's extension).  The dead peer itself
+        is never included; duplicates are removed preserving order.
+        """
+        if scope not in ("immediate", "extended"):
+            raise P2PError(f"unknown chain scope {scope!r}")
+        candidates: List[str] = []
+        parent = self.parent_of(peer_id)
+        if parent:
+            candidates.append(parent)
+        candidates.extend(self.children_of(peer_id))
+        candidates.extend(self.siblings_of(peer_id))
+        if scope == "extended":
+            grandparent = self.parent_of(parent) if parent else None
+            if grandparent:
+                candidates.append(grandparent)
+            candidates.extend(self.uncles_of(peer_id))
+            candidates.extend(self.cousins_of(peer_id))
+        seen = set()
+        out: List[str] = []
+        for candidate in candidates:
+            if candidate != peer_id and candidate not in seen:
+                seen.add(candidate)
+                out.append(candidate)
+        return out
+
+    def peers(self) -> List[str]:
+        return [n.peer_id for n in self.root.iter()]
+
+    # -- serialization (piggybacked on invocations) -----------------------------
+
+    def to_text(self) -> str:
+        return f"[{self._format(self.root)}]"
+
+    def _format(self, node: ChainNode) -> str:
+        if not node.children:
+            return node.label
+        if len(node.children) == 1:
+            return f"{node.label} -> {self._format(node.children[0])}"
+        parts = " || ".join(f"[{self._format(c)}]" for c in node.children)
+        return f"{node.label} -> {parts}"
+
+    @classmethod
+    def from_text(cls, text: str) -> "PeerChain":
+        parser = _ChainParser(text)
+        root = parser.parse()
+        chain = cls.__new__(cls)
+        chain.root = root
+        return chain
+
+    def merge(self, other: "PeerChain") -> int:
+        """Fold *other*'s edges into this chain; returns edges added.
+
+        Used when an invocation returns: the callee's view may contain
+        deeper invocations this peer has not seen.  Edges whose parent is
+        unknown here are skipped (they will arrive once their own parent
+        edge does).
+        """
+        added = 0
+        # Breadth-first so parents are inserted before their children.
+        pending = [other.root]
+        while pending:
+            node = pending.pop(0)
+            for child in node.children:
+                pending.append(child)
+                if self.contains(child.peer_id) or not self.contains(node.peer_id):
+                    continue
+                self.add_invocation(node.peer_id, child.peer_id, child.super_peer)
+                added += 1
+        return added
+
+    def copy(self) -> "PeerChain":
+        return PeerChain.from_text(self.to_text())
+
+    def __repr__(self) -> str:
+        return f"PeerChain({self.to_text()})"
+
+
+class _ChainParser:
+    """Recursive-descent parser for the bracket notation."""
+
+    def __init__(self, text: str):
+        self.text = text.strip()
+        self.pos = 0
+
+    def parse(self) -> ChainNode:
+        self._expect("[")
+        node = self._parse_node()
+        self._expect("]")
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise P2PError(f"trailing characters in chain text: {self.text!r}")
+        return node
+
+    def _parse_node(self) -> ChainNode:
+        label = self._parse_label()
+        super_peer = label.endswith("*")
+        node = ChainNode(label.rstrip("*"), super_peer)
+        self._skip_ws()
+        if self.text.startswith("->", self.pos):
+            self.pos += 2
+            self._skip_ws()
+            if self.text.startswith("[", self.pos):
+                while True:
+                    self._expect("[")
+                    child = self._parse_node()
+                    self._expect("]")
+                    child.parent = node
+                    node.children.append(child)
+                    self._skip_ws()
+                    if self.text.startswith("||", self.pos):
+                        self.pos += 2
+                        self._skip_ws()
+                    else:
+                        break
+            else:
+                child = self._parse_node()
+                child.parent = node
+                node.children.append(child)
+        return node
+
+    def _parse_label(self) -> str:
+        self._skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-*."
+        ):
+            self.pos += 1
+        if start == self.pos:
+            raise P2PError(
+                f"expected a peer label at position {self.pos} in {self.text!r}"
+            )
+        return self.text[start : self.pos]
+
+    def _expect(self, token: str) -> None:
+        self._skip_ws()
+        if not self.text.startswith(token, self.pos):
+            raise P2PError(
+                f"expected {token!r} at position {self.pos} in {self.text!r}"
+            )
+        self.pos += len(token)
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1

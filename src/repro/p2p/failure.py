@@ -1,0 +1,166 @@
+"""Failure injection and liveness monitoring.
+
+:class:`FailureInjector` scripts the failures an experiment wants:
+named service faults (consumed by §3.2's fault handlers) and peer
+disconnections triggered either at protocol points — *before* a service
+executes, *after* its local work, *before its results return* (the
+§3.3(b) window) — or at absolute virtual times.
+
+:class:`PingMonitor` implements keep-alive detection for the cases where
+nobody is blocked on the dead peer (§3.3(c): "AP2 detects the
+disconnection of AP3 via ping (or keep-alive) messages").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.p2p.network import SimNetwork
+
+#: Injection points inside a service execution.
+POINTS = ("before_execute", "after_local_work", "before_return")
+
+
+@dataclass
+class _FaultScript:
+    fault_name: str
+    remaining: int  # how many invocations still fault (-1 = forever)
+
+
+class FailureInjector:
+    """Deterministic, scripted failures for one simulation run."""
+
+    def __init__(self, network: SimNetwork):
+        self.network = network
+        self._faults: Dict[Tuple[str, str, str], _FaultScript] = {}
+        #: (trigger_peer, method, point) → peer to disconnect ("" = spent).
+        self._disconnects: Dict[Tuple[str, str, str], str] = {}
+
+    # -- scripting ---------------------------------------------------------
+
+    def fault_service(
+        self,
+        peer_id: str,
+        method_name: str,
+        fault_name: str,
+        times: int = 1,
+        point: str = "before_execute",
+    ) -> None:
+        """Make the next *times* executions of the service raise a fault.
+
+        ``times=-1`` faults every execution — the shape that defeats
+        bounded retry and forces backward recovery.  ``point`` selects
+        *when* the fault strikes: ``before_execute`` (no work done) or
+        ``after_execute`` — the Fig. 1 shape, where AP5 "fails while
+        processing S5" after having already invoked S6 on AP6.
+        """
+        if point not in ("before_execute", "after_execute"):
+            raise ValueError(f"unknown fault point {point!r}")
+        self._faults[(peer_id, method_name, point)] = _FaultScript(fault_name, times)
+
+    def disconnect_during(
+        self, peer_id: str, method_name: str, point: str = "after_local_work"
+    ) -> None:
+        """Disconnect *peer_id* when it reaches *point* of *method_name*.
+
+        ``point="before_return"`` models a peer dying with its work
+        complete but undelivered.
+        """
+        self.disconnect_peer_during(peer_id, peer_id, method_name, point)
+
+    def disconnect_peer_during(
+        self,
+        dead_peer: str,
+        trigger_peer: str,
+        method_name: str,
+        point: str = "after_local_work",
+    ) -> None:
+        """Disconnect *dead_peer* when *trigger_peer* reaches an execution
+        point of *method_name*.
+
+        This expresses §3.3(b) exactly: script
+        ``disconnect_peer_during("AP3", "AP6", "S6")`` and AP3 dies while
+        AP6 is still processing S6 — AP6 then "detects the disconnection
+        of AP3 while trying to return the results of processing service
+        S6".
+        """
+        if point not in POINTS:
+            raise ValueError(f"unknown injection point {point!r}; use one of {POINTS}")
+        self._disconnects[(trigger_peer, method_name, point)] = dead_peer
+
+    def disconnect_at(self, peer_id: str, time: float) -> None:
+        """Disconnect *peer_id* at an absolute virtual time."""
+        self.network.events.schedule_at(
+            time, lambda: self.network.disconnect(peer_id)
+        )
+
+    def clear(self) -> None:
+        """Drop every un-fired fault/disconnect script."""
+        self._faults.clear()
+        self._disconnects.clear()
+
+    # -- hooks consulted by peers -----------------------------------------------
+
+    def check_fault(
+        self, peer_id: str, method_name: str, point: str = "before_execute"
+    ) -> Optional[str]:
+        """The fault name to raise now, or None.  Consumes one charge."""
+        script = self._faults.get((peer_id, method_name, point))
+        if script is None or script.remaining == 0:
+            return None
+        if script.remaining > 0:
+            script.remaining -= 1
+        return script.fault_name
+
+    def check_disconnect(self, peer_id: str, method_name: str, point: str) -> bool:
+        """Fire any disconnect scripted for this execution point (one-shot).
+
+        Returns True when the *executing* peer itself was disconnected.
+        """
+        key = (peer_id, method_name, point)
+        dead_peer = self._disconnects.get(key)
+        if not dead_peer:
+            return False
+        self._disconnects[key] = ""
+        self.network.disconnect(dead_peer)
+        return dead_peer == peer_id
+
+
+class PingMonitor:
+    """Periodic keep-alive probing of a watch list."""
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        watcher_peer: str,
+        interval: float = 0.05,
+    ):
+        self.network = network
+        self.watcher_peer = watcher_peer
+        self.interval = interval
+        #: peer id → callback fired once on detected death.
+        self._watched: Dict[str, Callable[[str], None]] = {}
+        self._notified: set = set()
+
+    def watch(self, peer_id: str, on_death: Callable[[str], None]) -> None:
+        self._watched[peer_id] = on_death
+        self._schedule(peer_id)
+
+    def _schedule(self, peer_id: str) -> None:
+        self.network.events.schedule(self.interval, lambda: self._probe(peer_id))
+
+    def _probe(self, peer_id: str) -> None:
+        if peer_id not in self._watched or peer_id in self._notified:
+            return
+        if not self.network.is_alive(self.watcher_peer):
+            return  # a dead watcher probes nothing
+        if self.network.ping(self.watcher_peer, peer_id):
+            self._schedule(peer_id)
+            return
+        self._notified.add(peer_id)
+        callback = self._watched.pop(peer_id)
+        callback(peer_id)
+
+    def unwatch(self, peer_id: str) -> None:
+        self._watched.pop(peer_id, None)

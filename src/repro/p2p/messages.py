@@ -1,0 +1,120 @@
+"""Message types exchanged between peers.
+
+Invocations are synchronous in the simulation (the caller blocks for the
+result, as a SOAP call would); everything else — aborts, disconnect
+notices, redirected results, pings — travels as one-way notifications.
+All messages are plain dataclasses; the network layer counts and
+delivers them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class InvokeRequest:
+    """A service invocation: "Invoke method M for transaction T".
+
+    ``chain_text`` piggybacks the active-peer chain (§3.3); empty when
+    chaining is disabled (the naive baseline).
+    """
+
+    txn_id: str
+    origin_peer: str
+    sender: str
+    method_name: str
+    params: Dict[str, str] = field(default_factory=dict)
+    chain_text: str = ""
+    #: Pre-materialized parameter results reused from an orphaned child
+    #: (§3.3b: "passing the materialized results directly while invoking
+    #: S3 on APX").
+    reused_fragments: Dict[str, List[str]] = field(default_factory=dict)
+
+
+@dataclass
+class InvokeResult:
+    """The reply to an :class:`InvokeRequest`.
+
+    ``compensations`` carries compensating-service definitions when
+    peer-independent compensation is enabled — ``(provider_peer,
+    plan_xml)`` pairs, the provider's own plus those accumulated from its
+    sub-invocations, so they reach the origin peer (§3.2: "the
+    compensating service definitions can also be sent to the origin peer
+    directly").
+    """
+
+    fragments: List[str] = field(default_factory=list)
+    provider_peer: str = ""
+    compensations: List[tuple] = field(default_factory=list)
+    nodes_affected: int = 0
+    #: The provider's final chain view, merged back into the caller's so
+    #: later invocations piggyback the complete active-peer list (§3.3's
+    #: example chain includes sibling branches).
+    chain_text: str = ""
+
+
+@dataclass
+class AbortMessage:
+    """"Abort T_A" (§3.2's nested recovery protocol)."""
+
+    txn_id: str
+    from_peer: str
+    failed_method: str = ""
+    reason: str = ""
+
+
+@dataclass
+class DisconnectNotice:
+    """Notification that a peer was observed disconnected (§3.3)."""
+
+    txn_id: str
+    disconnected_peer: str
+    detected_by: str
+    detect_time: float = 0.0
+
+
+@dataclass
+class RedirectedResult:
+    """Results a child pushes past its dead parent (§3.3b).
+
+    When AP6 cannot return S6's results to the disconnected AP3, it sends
+    them up the chain to AP2: the grandparent can reuse the work when it
+    forward-recovers S3 on a replacement peer.
+    """
+
+    txn_id: str
+    from_peer: str
+    dead_parent: str
+    method_name: str
+    fragments: List[str] = field(default_factory=list)
+    compensations: List[tuple] = field(default_factory=list)
+
+
+@dataclass
+class CommitMessage:
+    """Origin → participants: the transaction committed; release state."""
+
+    txn_id: str
+    from_peer: str
+
+
+@dataclass
+class CompensationRequest:
+    """Peer-independent compensation (§3.2): "a peer trying to perform
+    recovery … can directly invoke the compensating services on their
+    original peers".  The receiver executes the plan without knowing it
+    is compensation."""
+
+    txn_id: str
+    plan_xml: str
+    from_peer: str
+
+
+@dataclass
+class PingMessage:
+    """Keep-alive probe; the reply is implicit in the network call."""
+
+    from_peer: str
+    to_peer: str

@@ -1,0 +1,159 @@
+"""The simulated P2P network.
+
+Service invocations are synchronous calls with virtual-time latency
+(the caller blocks, as in SOAP); aborts/notices/redirects are one-way
+notifications; pings probe liveness.  Peer disconnection is modelled by
+a flag checked at every interaction point, so a peer can "die" at any
+protocol step — including *between* a service finishing and its results
+returning (the §3.3(b) window).
+
+The network knows nothing about transactions; peers implement the
+protocols on top of these primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol
+
+from repro.errors import PeerDisconnected, UnknownPeer
+from repro.p2p.messages import InvokeRequest, InvokeResult
+from repro.sim.kernel import Clock, EventQueue
+from repro.sim.metrics import MetricsCollector
+
+
+class NetworkPeer(Protocol):
+    """What the network requires of a registered peer."""
+
+    peer_id: str
+    disconnected: bool
+
+    def handle_invoke(self, request: InvokeRequest) -> InvokeResult: ...
+
+    def on_notify(self, message: object) -> None: ...
+
+    def on_return_failure(self, request: InvokeRequest, result: InvokeResult) -> None: ...
+
+
+class SimNetwork:
+    """Synchronous-RPC network over a virtual clock."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        metrics: Optional[MetricsCollector] = None,
+        hop_latency: float = 0.005,
+    ):
+        self.clock = clock or Clock()
+        self.events = EventQueue(self.clock)
+        self.metrics = metrics or MetricsCollector()
+        self.hop_latency = hop_latency
+        self._peers: Dict[str, NetworkPeer] = {}
+        #: Virtual time each peer disconnected at (for detection latency).
+        self.disconnect_times: Dict[str, float] = {}
+
+    # -- membership -------------------------------------------------------
+
+    def register(self, peer: NetworkPeer) -> NetworkPeer:
+        self._peers[peer.peer_id] = peer
+        return peer
+
+    def get_peer(self, peer_id: str) -> NetworkPeer:
+        try:
+            return self._peers[peer_id]
+        except KeyError:
+            raise UnknownPeer(f"no peer {peer_id!r} in the network")
+
+    def peers(self) -> List[str]:
+        return list(self._peers)
+
+    def disconnect(self, peer_id: str) -> None:
+        """Mark *peer_id* as having left the network (§1: arbitrarily)."""
+        peer = self.get_peer(peer_id)
+        if not peer.disconnected:
+            peer.disconnected = True
+            self.disconnect_times[peer_id] = self.clock.now
+            self.metrics.incr("disconnections")
+
+    def reconnect(self, peer_id: str) -> None:
+        """Bring a peer back (it keeps its documents but lost txn state)."""
+        self.get_peer(peer_id).disconnected = False
+
+    def is_alive(self, peer_id: str) -> bool:
+        peer = self._peers.get(peer_id)
+        return peer is not None and not peer.disconnected
+
+    # -- detection bookkeeping ----------------------------------------------
+
+    def record_detection(self, disconnected_peer: str, detected_by: str) -> None:
+        self.metrics.record_detection(
+            disconnected_peer,
+            detected_by,
+            self.disconnect_times.get(disconnected_peer, self.clock.now),
+            self.clock.now,
+        )
+
+    # -- primitives -----------------------------------------------------------
+
+    def rpc(self, source_id: str, target_id: str, request: InvokeRequest) -> InvokeResult:
+        """Synchronous service invocation with latency accounting.
+
+        Raises :class:`PeerDisconnected` naming whichever peer's death
+        broke the call: the target (detected by the caller) or — after a
+        successful execution whose results cannot be delivered because
+        the *caller* died — the source (§3.3b; the target's
+        ``on_return_failure`` hook has then already run).
+        """
+        self.metrics.record_message("invoke")
+        self.clock.advance(self.hop_latency)
+        target = self.get_peer(target_id)
+        if target.disconnected:
+            self.record_detection(target_id, source_id)
+            raise PeerDisconnected(target_id)
+        try:
+            result = target.handle_invoke(request)
+        except PeerDisconnected as exc:
+            if target.disconnected and exc.peer_id != target_id:
+                # The target died mid-execution; normalize so the caller
+                # sees its own callee as the disconnected party.
+                self.record_detection(target_id, source_id)
+                raise PeerDisconnected(target_id) from exc
+            raise
+        if target.disconnected:
+            # Died between finishing and returning: caller sees a death.
+            self.record_detection(target_id, source_id)
+            raise PeerDisconnected(target_id)
+        self.clock.advance(self.hop_latency)
+        source = self.get_peer(source_id)
+        if source.disconnected:
+            # §3.3(b): the child holds results it cannot deliver.
+            self.record_detection(source_id, target_id)
+            target.on_return_failure(request, result)
+            raise PeerDisconnected(source_id)
+        self.metrics.record_message("result")
+        return result
+
+    def notify(self, source_id: str, target_id: str, message: object) -> bool:
+        """One-way message; returns False when the target is unreachable."""
+        self.metrics.record_message(type(message).__name__)
+        self.clock.advance(self.hop_latency)
+        peer = self._peers.get(target_id)
+        if peer is None or peer.disconnected:
+            self.metrics.incr("messages_dropped")
+            return False
+        if source_id in self._peers and self._peers[source_id].disconnected:
+            # A dead peer sends nothing.
+            self.metrics.incr("messages_dropped")
+            return False
+        peer.on_notify(message)
+        return True
+
+    def ping(self, source_id: str, target_id: str) -> bool:
+        """Keep-alive probe (§3.3: "Related P2P research relies on ping
+        (or keep-alive) messages to detect peer disconnection")."""
+        self.metrics.record_message("ping")
+        self.metrics.incr("pings")
+        self.clock.advance(2 * self.hop_latency)
+        alive = self.is_alive(target_id)
+        if not alive and target_id in self._peers:
+            self.record_detection(target_id, source_id)
+        return alive

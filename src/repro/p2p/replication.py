@@ -1,0 +1,114 @@
+"""Document and service replication across peers.
+
+"AXML documents (or fragments of the documents) and services may be
+replicated on multiple peers" [2].  Replication matters transactionally
+in two places:
+
+* forward recovery may retry an invocation "using a replicated peer"
+  (§3.2's ``axml:retry`` with an alternative ``axml:sc``);
+* peer-independent compensation can be executed against a replica when
+  the original provider disconnected — the combination that makes
+  atomicity guaranteeable for non-super peers (see
+  :mod:`repro.txn.spheres`).
+
+The manager keeps replicas *content-synchronized at replication time*;
+continuous synchronization is out of the paper's scope (its replication
+citation [2] owns that problem), so experiments re-replicate when they
+need fresh replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.axml.document import AXMLDocument
+from repro.errors import P2PError
+from repro.p2p.network import SimNetwork
+from repro.xmlstore.serializer import rebind_ids, serialize
+
+
+class ReplicationManager:
+    """Tracks which peers hold which documents/services."""
+
+    def __init__(self, network: SimNetwork):
+        self.network = network
+        #: document name → peer ids holding a replica (in creation order).
+        self._document_holders: Dict[str, List[str]] = {}
+        #: method name → peer ids hosting the service.
+        self._service_holders: Dict[str, List[str]] = {}
+        # Make the manager discoverable by peers (peer-independent
+        # compensation fallback looks it up on the network).
+        network.replication = self
+
+    # -- documents ---------------------------------------------------------
+
+    def register_primary(self, document_name: str, peer_id: str) -> None:
+        self._document_holders.setdefault(document_name, [])
+        holders = self._document_holders[document_name]
+        if peer_id not in holders:
+            holders.insert(0, peer_id)
+
+    def replicate_document(self, document_name: str, to_peer_id: str) -> AXMLDocument:
+        """Copy the document (with node ids) onto another peer.
+
+        Preserved ids are what make a replica usable for compensation:
+        compensating actions address nodes by id, and the replica resolves
+        the same ids.
+        """
+        holders = self.holders(document_name)
+        if not holders:
+            raise P2PError(f"no peer holds document {document_name!r}")
+        source_peer = self.network.get_peer(holders[0])
+        target_peer = self.network.get_peer(to_peer_id)
+        source_doc = source_peer.get_axml_document(document_name)
+        # Serialize with ids and rebind on the copy: identical trees with
+        # identical node identities, independent storage.
+        text = serialize(source_doc.document, include_ids=True)
+        from repro.xmlstore.parser import parse_document
+
+        copy = parse_document(text, name=document_name)
+        rebind_ids(copy)
+        replica = AXMLDocument(copy, name=document_name)
+        target_peer.host_document(replica)
+        if to_peer_id not in self._document_holders[document_name]:
+            self._document_holders[document_name].append(to_peer_id)
+        self.network.metrics.incr("documents_replicated")
+        return replica
+
+    def holders(self, document_name: str) -> List[str]:
+        """Peers holding the document, primary first."""
+        return list(self._document_holders.get(document_name, []))
+
+    def alive_holder(self, document_name: str) -> Optional[str]:
+        for peer_id in self.holders(document_name):
+            if self.network.is_alive(peer_id):
+                return peer_id
+        return None
+
+    # -- services -------------------------------------------------------------
+
+    def register_service(self, method_name: str, peer_id: str) -> None:
+        holders = self._service_holders.setdefault(method_name, [])
+        if peer_id not in holders:
+            holders.append(peer_id)
+
+    def replicate_service(self, method_name: str, to_peer_id: str) -> None:
+        """Mirror a service implementation onto another peer."""
+        holders = self._service_holders.get(method_name, [])
+        if not holders:
+            raise P2PError(f"no peer hosts service {method_name!r}")
+        source_peer = self.network.get_peer(holders[0])
+        target_peer = self.network.get_peer(to_peer_id)
+        service = source_peer.registry.lookup(method_name)
+        target_peer.host_service(service)
+        self.register_service(method_name, to_peer_id)
+        self.network.metrics.incr("services_replicated")
+
+    def service_holders(self, method_name: str) -> List[str]:
+        return list(self._service_holders.get(method_name, []))
+
+    def alive_service_holder(self, method_name: str) -> Optional[str]:
+        for peer_id in self.service_holders(method_name):
+            if self.network.is_alive(peer_id):
+                return peer_id
+        return None

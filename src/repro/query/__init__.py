@@ -1,0 +1,55 @@
+"""The paper's query/update language over AXML documents.
+
+The paper (§3) fixes the operation set on AXML documents: *queries*,
+*inserts*, *deletes* and *replaces* — update operations carried in
+``<action type="…">`` documents whose ``<location>`` holds a query in the
+form::
+
+    Select p/citizenship from p in ATPList//player
+    where p/name/lastname = Federer;
+
+This package provides the lexer/parser for that language
+(:mod:`repro.query.lexer`, :mod:`repro.query.parser`), the AST
+(:mod:`repro.query.ast`), evaluation with materialization hooks
+(:mod:`repro.query.evaluate`) and the update executors that produce the
+change records dynamic compensation consumes
+(:mod:`repro.query.update`).
+"""
+
+from repro.query.ast import (
+    ActionType,
+    Comparison,
+    BooleanCondition,
+    SelectQuery,
+    UpdateAction,
+    VarPath,
+)
+from repro.query.parser import parse_select, parse_action
+from repro.query.evaluate import QueryResult, evaluate_select
+from repro.query.update import (
+    apply_action,
+    ChangeRecord,
+    DeleteRecord,
+    InsertRecord,
+    ReplaceRecord,
+    UpdateResult,
+)
+
+__all__ = [
+    "ActionType",
+    "Comparison",
+    "BooleanCondition",
+    "SelectQuery",
+    "UpdateAction",
+    "VarPath",
+    "parse_select",
+    "parse_action",
+    "QueryResult",
+    "evaluate_select",
+    "apply_action",
+    "ChangeRecord",
+    "DeleteRecord",
+    "InsertRecord",
+    "ReplaceRecord",
+    "UpdateResult",
+]

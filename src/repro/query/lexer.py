@@ -1,0 +1,91 @@
+"""Tokenizer for the Select query language.
+
+Token kinds:
+
+* ``KEYWORD`` — ``select``, ``from``, ``in``, ``where``, ``and``, ``or``
+  (case-insensitive, as the paper capitalizes ``Select``),
+* ``PATH`` — a path-shaped word (may contain ``/``, ``.``, ``*``, ``()``),
+* ``OP`` — ``=``, ``!=``, ``<>``, ``<=``, ``>=``, ``<``, ``>``,
+* ``STRING`` — a single- or double-quoted literal,
+* ``COMMA`` and ``SEMI`` punctuation.
+
+The paper writes comparison literals unquoted (``… = Federer``); such
+barewords come out as ``PATH`` tokens and the parser re-interprets them
+as literals on the right-hand side of an operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import QuerySyntaxError
+
+KEYWORDS = {"select", "from", "in", "where", "and", "or"}
+
+_OPERATORS = ("!=", "<>", "<=", ">=", "=", "<", ">")
+_WHITESPACE = " \t\r\n"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (for error messages)."""
+
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.value == word
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split *text* into tokens; raises :class:`QuerySyntaxError` on junk."""
+    tokens: List[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch in _WHITESPACE:
+            pos += 1
+            continue
+        if ch == ",":
+            tokens.append(Token("COMMA", ",", pos))
+            pos += 1
+            continue
+        if ch == ";":
+            tokens.append(Token("SEMI", ";", pos))
+            pos += 1
+            continue
+        if ch in ("'", '"'):
+            end = text.find(ch, pos + 1)
+            if end < 0:
+                raise QuerySyntaxError("unterminated string literal", pos)
+            tokens.append(Token("STRING", text[pos + 1 : end], pos))
+            pos = end + 1
+            continue
+        op = _match_operator(text, pos)
+        if op:
+            tokens.append(Token("OP", "!=" if op == "<>" else op, pos))
+            pos += len(op)
+            continue
+        end = pos
+        while end < length and text[end] not in _WHITESPACE + ",;'\"" and not _match_operator(text, end):
+            end += 1
+        word = text[pos:end]
+        if not word:
+            raise QuerySyntaxError(f"unexpected character {ch!r}", pos)
+        lowered = word.lower()
+        if lowered in KEYWORDS:
+            tokens.append(Token("KEYWORD", lowered, pos))
+        else:
+            tokens.append(Token("PATH", word, pos))
+        pos = end
+    return tokens
+
+
+def _match_operator(text: str, pos: int) -> str:
+    for op in _OPERATORS:
+        if text.startswith(op, pos):
+            return op
+    return ""

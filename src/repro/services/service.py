@@ -1,0 +1,289 @@
+"""Service implementations executing against hosted AXML documents.
+
+Services are pure with respect to the peer machinery: they receive a
+:class:`ServiceHost` capability object and return a
+:class:`ServiceResponse` carrying result fragments plus the change
+records the transactional layer logs.  Four concrete kinds cover the
+paper's needs:
+
+* :class:`QueryService` — an AXML service "defined as queries … over
+  AXML documents" (§1), with lazy materialization of embedded calls;
+* :class:`UpdateService` — ditto for updates; the provider can derive
+  the compensating-service definition from the returned records (§3.2);
+* :class:`FunctionService` — a generic web service backed by a Python
+  callable, with optional named-fault injection;
+* :class:`DelegatingService` — a service that invokes services on other
+  peers while executing (distributed nesting, §1): the shape of Fig. 1's
+  S2→S3→S5 chains.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.axml.document import AXMLDocument
+from repro.axml.materialize import MaterializationEngine, Resolver
+from repro.errors import ServiceError, ServiceFault
+from repro.query.ast import ActionType
+from repro.query.evaluate import evaluate_select
+from repro.query.parser import parse_action, parse_select
+from repro.query.update import ChangeRecord, apply_action
+from repro.services.descriptor import ParamSpec, ServiceDescriptor
+from repro.xmlstore.path import TraversalMeter
+from repro.xmlstore.serializer import serialize
+
+
+class ServiceHost(Protocol):
+    """What a service may ask of the peer hosting it."""
+
+    def get_axml_document(self, name: str) -> AXMLDocument:
+        """The named local document; raises if not hosted here."""
+        ...
+
+    def materialization_resolver(self) -> Optional[Resolver]:
+        """Resolver for embedded-call materialization (may be None)."""
+        ...
+
+    def invoke_remote(
+        self, target_peer: str, method_name: str, params: Dict[str, str]
+    ) -> List[str]:
+        """Invoke a service on another peer; returns result fragments."""
+        ...
+
+    def record_changes(
+        self, records: Sequence[ChangeRecord], document_name: str, action_xml: str
+    ) -> None:
+        """Log tree changes the moment they happen.
+
+        Services call this *before* continuing with further work (e.g.
+        delegations), so a failure later in the execution still finds the
+        earlier changes in the log — otherwise backward recovery could
+        not compensate them (§3.1's logging requirement).
+        """
+        ...
+
+    def random(self) -> float:
+        """A float in [0, 1) from the host's seeded RNG."""
+        ...
+
+
+@dataclass
+class ServiceResponse:
+    """What one service execution produced."""
+
+    fragments: List[str] = field(default_factory=list)
+    records: List[ChangeRecord] = field(default_factory=list)
+    document_name: str = ""
+    nodes_affected: int = 0
+    #: (peer, method) pairs this execution invoked remotely, in order.
+    remote_invocations: List[Tuple[str, str]] = field(default_factory=list)
+
+
+class Service:
+    """Base class: descriptor + parameter validation."""
+
+    def __init__(self, descriptor: ServiceDescriptor):
+        self.descriptor = descriptor
+
+    @property
+    def method_name(self) -> str:
+        return self.descriptor.method_name
+
+    def execute(self, params: Dict[str, str], host: ServiceHost) -> ServiceResponse:
+        self.descriptor.validate_params(params)
+        return self._run(dict(params), host)
+
+    def _run(self, params: Dict[str, str], host: ServiceHost) -> ServiceResponse:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.method_name!r})"
+
+
+def substitute(template: str, params: Dict[str, str]) -> str:
+    """Fill ``$name`` placeholders in a query/action template.
+
+    Raises :class:`ServiceError` on unreferenced placeholders so a typo
+    in a workload template fails loudly, not as an empty result.
+    """
+    try:
+        return string.Template(template).substitute(params)
+    except KeyError as exc:
+        raise ServiceError(f"template parameter {exc.args[0]!r} was not provided")
+    except ValueError as exc:
+        raise ServiceError(f"malformed template: {exc}")
+
+
+class QueryService(Service):
+    """An AXML query service over one hosted document.
+
+    ``template`` is a Select statement with ``$param`` placeholders, e.g.
+    ``Select p/points from p in ATPList//player where p/name/lastname = $name;``.
+    Execution lazily materializes the embedded calls the query needs —
+    so even a *query* service produces change records (§3.1).
+    """
+
+    def __init__(
+        self,
+        descriptor: ServiceDescriptor,
+        template: str,
+        evaluation: str = "lazy",
+    ):
+        super().__init__(descriptor)
+        if evaluation not in ("lazy", "eager"):
+            raise ServiceError(f"evaluation must be lazy or eager, not {evaluation!r}")
+        self.template = template
+        self.evaluation = evaluation
+
+    def _run(self, params: Dict[str, str], host: ServiceHost) -> ServiceResponse:
+        query = parse_select(substitute(self.template, params))
+        document_name = self.descriptor.target_document or query.document_name
+        axml_document = host.get_axml_document(document_name)
+        meter = TraversalMeter()
+        records: List[ChangeRecord] = []
+        resolver = host.materialization_resolver()
+        if resolver is not None:
+            engine = MaterializationEngine(axml_document, resolver, meter)
+            if self.evaluation == "lazy":
+                report = engine.materialize_for_query(query)
+            else:
+                report = engine.materialize_all()
+            records.extend(report.change_records())
+            if records:
+                host.record_changes(
+                    records, document_name, f"<service method='{self.method_name}'/>"
+                )
+        result = evaluate_select(query, axml_document.document, meter)
+        fragments = [serialize(node) for node in result.all_nodes()]
+        return ServiceResponse(
+            fragments=fragments,
+            records=records,
+            document_name=document_name,
+            nodes_affected=meter.nodes_traversed,
+        )
+
+
+class UpdateService(Service):
+    """An AXML update service over one hosted document.
+
+    ``template`` is an ``<action type="…">`` document with ``$param``
+    placeholders.  The response's records are exactly what the provider
+    peer logs — and what it derives the compensating-service definition
+    from when peer-independent compensation is on (§3.2).
+    """
+
+    def __init__(self, descriptor: ServiceDescriptor, template: str):
+        super().__init__(descriptor)
+        self.template = template
+
+    def _run(self, params: Dict[str, str], host: ServiceHost) -> ServiceResponse:
+        action = parse_action(substitute(self.template, params))
+        document_name = self.descriptor.target_document or action.location.document_name
+        axml_document = host.get_axml_document(document_name)
+        meter = TraversalMeter()
+        result = apply_action(axml_document.document, action, meter)
+        if result.records:
+            host.record_changes(result.records, document_name, action.to_xml())
+        fragments = [
+            f'<inserted id="{node_id!r}"/>' for node_id in result.inserted_ids
+        ] or [f'<updated count="{result.target_count}"/>']
+        return ServiceResponse(
+            fragments=fragments,
+            records=list(result.records),
+            document_name=document_name,
+            nodes_affected=meter.nodes_traversed,
+        )
+
+
+#: Signature of a function-service body: params → result fragments.
+FunctionBody = Callable[[Dict[str, str]], List[str]]
+
+
+class FunctionService(Service):
+    """A generic web service backed by a Python callable.
+
+    ``fault_name``/``fault_probability`` inject named faults through the
+    host's seeded RNG — the raw material of §3.2's fault handlers.
+    Generic services are non-compensatable unless an ``inverse`` body is
+    supplied (e.g. *Book Hotel* / *Cancel Hotel Booking*).
+    """
+
+    def __init__(
+        self,
+        descriptor: ServiceDescriptor,
+        body: FunctionBody,
+        inverse: Optional[FunctionBody] = None,
+        fault_name: str = "",
+        fault_probability: float = 0.0,
+    ):
+        super().__init__(descriptor)
+        self.body = body
+        self.inverse = inverse
+        self.fault_name = fault_name
+        self.fault_probability = fault_probability
+
+    def _run(self, params: Dict[str, str], host: ServiceHost) -> ServiceResponse:
+        if self.fault_probability > 0 and host.random() < self.fault_probability:
+            raise ServiceFault(
+                self.fault_name or "ServiceFailure",
+                f"injected fault in {self.method_name}",
+            )
+        fragments = list(self.body(params))
+        return ServiceResponse(fragments=fragments)
+
+
+class DelegatingService(Service):
+    """A service that invokes services on other peers while executing.
+
+    This produces the paper's distributed nesting: "invocation of a
+    service S_X of peer AP2, by peer AP1, may require the peer AP2 to
+    invoke another service S_Y of peer AP3 (while executing S_X)" (§1).
+    ``delegations`` is an ordered list of ``(target_peer, method_name)``;
+    parameters are forwarded.  An optional ``local_action_template``
+    performs local work first (so the peer has something to compensate,
+    as in Fig. 1's intermediate peers).
+    """
+
+    def __init__(
+        self,
+        descriptor: ServiceDescriptor,
+        delegations: Sequence[Tuple[str, str]],
+        local_action_template: Optional[str] = None,
+        extra_fragments: Sequence[str] = (),
+    ):
+        super().__init__(descriptor)
+        self.delegations = list(delegations)
+        self.local_action_template = local_action_template
+        #: Constant result fragments appended to every response (lets
+        #: scenario services produce observable, reusable results).
+        self.extra_fragments = list(extra_fragments)
+
+    def _run(self, params: Dict[str, str], host: ServiceHost) -> ServiceResponse:
+        response = ServiceResponse()
+        if self.local_action_template is not None:
+            action = parse_action(substitute(self.local_action_template, params))
+            document_name = (
+                self.descriptor.target_document or action.location.document_name
+            )
+            axml_document = host.get_axml_document(document_name)
+            meter = TraversalMeter()
+            result = apply_action(axml_document.document, action, meter)
+            if result.records:
+                # Log immediately: a later delegation may fail, and the
+                # local work must already be compensatable.
+                host.record_changes(result.records, document_name, action.to_xml())
+            response.records.extend(result.records)
+            response.document_name = document_name
+            response.nodes_affected = meter.nodes_traversed
+            if action.action_type is ActionType.QUERY and result.query_result:
+                response.fragments.extend(
+                    serialize(node) for node in result.query_result.all_nodes()
+                )
+        for target_peer, method_name in self.delegations:
+            fragments = host.invoke_remote(target_peer, method_name, params)
+            response.fragments.extend(fragments)
+            response.remote_invocations.append((target_peer, method_name))
+        response.fragments.extend(self.extra_fragments)
+        return response

@@ -1,0 +1,14 @@
+"""Simulation infrastructure: clock, RNG, metrics, workloads, scenarios.
+
+The paper's substrate was a live P2P deployment; we replace it with a
+deterministic simulation (see DESIGN.md's substitution table).  The
+kernel is deliberately simple — a virtual clock plus deferred events —
+because the transactional protocols are driven synchronously (RPC-style)
+and only notifications and periodic services need scheduling.
+"""
+
+from repro.sim.kernel import Clock, EventQueue
+from repro.sim.rng import SeededRng
+from repro.sim.metrics import MetricsCollector
+
+__all__ = ["Clock", "EventQueue", "SeededRng", "MetricsCollector"]

@@ -1,0 +1,87 @@
+"""Experiment harness: runs parameter sweeps and prints result tables.
+
+The paper has no quantitative tables (see DESIGN.md); the harness prints
+the derived experiment tables EXPERIMENTS.md records, one row per
+parameter point, with a fixed column layout so bench output is diffable
+across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentTable:
+    """An ordered collection of result rows with aligned text rendering."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if isinstance(value, float):
+            if value == float("inf"):
+                return "inf"
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self) -> str:
+        header = list(self.columns)
+        body = [[self._format(row.get(col, "")) for col in header] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for row in body:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.render())
+
+
+def sweep(
+    title: str,
+    columns: Sequence[str],
+    points: Sequence[Any],
+    run_point: Callable[[Any], Dict[str, Any]],
+) -> ExperimentTable:
+    """Run *run_point* for every parameter point and collect the table."""
+    table = ExperimentTable(title, columns)
+    for point in points:
+        table.add_row(**run_point(point))
+    return table
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A safe ratio for table cells (0/0 → 1.0, x/0 → inf)."""
+    if denominator == 0:
+        return 1.0 if numerator == 0 else float("inf")
+    return numerator / denominator
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean, NaN-tolerant; 0.0 for empty input."""
+    values = [v for v in values if v == v]  # drop NaN
+    return sum(values) / len(values) if values else 0.0

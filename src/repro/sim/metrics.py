@@ -1,0 +1,116 @@
+"""Metrics collection for experiments.
+
+One :class:`MetricsCollector` is shared by the network, the peers and
+the transaction managers of a simulation.  Counters map directly to the
+quantities EXPERIMENTS.md reports:
+
+* ``messages`` / ``pings`` / ``aborts_sent`` — protocol traffic;
+* ``invocations`` / ``invocations_discarded`` / ``invocations_reused``
+  — loss of effort under disconnection (§3.3's objective is to
+  "minimize loss of effort … and reuse already performed work");
+* ``nodes_affected_forward`` / ``nodes_affected_compensation`` — the
+  paper's cost measure, "the number of XML nodes affected (traversed)"
+  (§3.2);
+* detection events with their virtual-time latency.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import DefaultDict, Dict, List, Optional, Tuple
+
+
+@dataclass
+class DetectionEvent:
+    """One disconnection detection: who noticed whom, and how fast."""
+
+    disconnected_peer: str
+    detected_by: str
+    disconnect_time: float
+    detect_time: float
+
+    @property
+    def latency(self) -> float:
+        return self.detect_time - self.disconnect_time
+
+
+class MetricsCollector:
+    """Shared counters for one simulation run."""
+
+    def __init__(self) -> None:
+        self.counters: DefaultDict[str, int] = defaultdict(int)
+        self.detections: List[DetectionEvent] = []
+        #: txn id → outcome string ("committed" / "aborted" / "stuck")
+        self.txn_outcomes: Dict[str, str] = {}
+
+    # -- counters -------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # -- convenience recorders --------------------------------------------
+
+    def record_message(self, kind: str) -> None:
+        self.incr("messages")
+        self.incr(f"messages.{kind}")
+
+    def record_invocation(self) -> None:
+        self.incr("invocations")
+
+    def record_discarded_invocation(self, count: int = 1) -> None:
+        """Completed work thrown away during recovery (loss of effort)."""
+        self.incr("invocations_discarded", count)
+
+    def record_reused_invocation(self, count: int = 1) -> None:
+        """Completed work salvaged through chaining (§3.3b)."""
+        self.incr("invocations_reused", count)
+
+    def record_forward_cost(self, nodes: int) -> None:
+        self.incr("nodes_affected_forward", nodes)
+
+    def record_compensation_cost(self, nodes: int) -> None:
+        self.incr("nodes_affected_compensation", nodes)
+
+    def record_detection(
+        self,
+        disconnected_peer: str,
+        detected_by: str,
+        disconnect_time: float,
+        detect_time: float,
+    ) -> None:
+        self.detections.append(
+            DetectionEvent(disconnected_peer, detected_by, disconnect_time, detect_time)
+        )
+
+    def record_txn_outcome(self, txn_id: str, outcome: str) -> None:
+        self.txn_outcomes[txn_id] = outcome
+
+    # -- summaries ------------------------------------------------------------
+
+    def detection_latency(self, disconnected_peer: Optional[str] = None) -> float:
+        """Earliest detection latency for a peer (or across all peers)."""
+        events = [
+            e
+            for e in self.detections
+            if disconnected_peer is None or e.disconnected_peer == disconnected_peer
+        ]
+        if not events:
+            return float("inf")
+        return min(e.latency for e in events)
+
+    def outcome_counts(self) -> Dict[str, int]:
+        out: DefaultDict[str, int] = defaultdict(int)
+        for outcome in self.txn_outcomes.values():
+            out[outcome] += 1
+        return dict(out)
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.counters)
+
+    def __repr__(self) -> str:
+        keys = ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+        return f"MetricsCollector({keys})"

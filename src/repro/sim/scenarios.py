@@ -1,0 +1,289 @@
+"""Canonical scenarios from the paper.
+
+* :data:`ATPLIST_XML` — the §3.1 running example (ATPList.xml with the
+  embedded ``getPoints`` and ``getGrandSlamsWonbyYear`` calls).
+* :func:`build_atplist_scenario` — a 3-peer deployment of it: AP1 hosts
+  the document; AP2/AP3 provide the two services.
+* :func:`build_fig1` — Fig. 1's invocation tree
+  (AP1 → {S2@AP2, S3@AP3}, AP3 → {S4@AP4, S5@AP5}, AP5 → S6@AP6).
+* :func:`build_fig2` — Fig. 2's tree
+  ([AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]]).
+
+Every peer in the figure scenarios hosts a small document and a
+delegating service that inserts a marker entry locally before invoking
+its children — so each peer has real work to compensate, and "number of
+XML nodes affected" is a meaningful cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.axml.document import AXMLDocument
+from repro.p2p.failure import FailureInjector
+from repro.p2p.network import SimNetwork
+from repro.p2p.peer import AXMLPeer
+from repro.p2p.replication import ReplicationManager
+from repro.services.descriptor import ParamSpec, ServiceDescriptor
+from repro.services.service import DelegatingService, FunctionService
+from repro.sim.metrics import MetricsCollector
+
+#: The paper's running example (§3.1), verbatim in structure: two
+#: embedded calls with previous results, one replace-mode, one merge-mode.
+ATPLIST_XML = """<?xml version="1.0" encoding="UTF-8"?>
+<ATPList date="18042005">
+  <player rank="1">
+    <name>
+      <firstname>Roger</firstname>
+      <lastname>Federer</lastname>
+    </name>
+    <citizenship>Swiss</citizenship>
+    <axml:sc mode="replace" serviceNameSpace="getPoints"
+             serviceURL="axml://AP2" methodName="getPoints">
+      <axml:params>
+        <axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param>
+      </axml:params>
+      <points>475</points>
+    </axml:sc>
+    <axml:sc mode="merge" serviceNameSpace="getGrandSlamsWonbyYear"
+             serviceURL="axml://AP3" methodName="getGrandSlamsWonbyYear">
+      <axml:params>
+        <axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param>
+        <axml:param name="year"><axml:value>2005</axml:value></axml:param>
+      </axml:params>
+      <grandslamswon year="2003">A, W</grandslamswon>
+      <grandslamswon year="2004">A, U</grandslamswon>
+    </axml:sc>
+  </player>
+  <player rank="2">
+    <name>
+      <firstname>Rafael</firstname>
+      <lastname>Nadal</lastname>
+    </name>
+    <citizenship>Spanish</citizenship>
+  </player>
+</ATPList>
+"""
+
+#: The paper's Query A (§3.1): needs grandslamswon, not points.
+QUERY_A = (
+    "Select p/citizenship, p/grandslamswon from p in ATPList//player "
+    "where p/name/lastname = Federer;"
+)
+
+#: The paper's Query B (§3.1): needs points, not grandslamswon.
+QUERY_B = (
+    "Select p/citizenship, p/points from p in ATPList//player "
+    "where p/name/lastname = Federer;"
+)
+
+
+@dataclass
+class Scenario:
+    """A built deployment, ready for a test/bench to drive."""
+
+    network: SimNetwork
+    injector: FailureInjector
+    peers: Dict[str, AXMLPeer]
+    replication: ReplicationManager
+    #: invocation topology: peer → list of (child_peer, method) it calls.
+    topology: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        return self.network.metrics
+
+    def peer(self, peer_id: str) -> AXMLPeer:
+        return self.peers[peer_id]
+
+
+def _base(
+    hop_latency: float = 0.005,
+) -> Tuple[SimNetwork, FailureInjector, ReplicationManager]:
+    network = SimNetwork(hop_latency=hop_latency)
+    injector = FailureInjector(network)
+    replication = ReplicationManager(network)
+    return network, injector, replication
+
+
+# ---------------------------------------------------------------------------
+# the ATPList (§3.1) scenario
+# ---------------------------------------------------------------------------
+
+def build_atplist_scenario(
+    peer_independent: bool = False,
+    chaining: bool = True,
+    points_value: str = "890",
+) -> Scenario:
+    """AP1 hosts ATPList.xml; AP2 serves getPoints; AP3 serves
+    getGrandSlamsWonbyYear — the §3.1 worked examples, distributed."""
+    network, injector, replication = _base()
+    peers: Dict[str, AXMLPeer] = {}
+    for peer_id in ("AP1", "AP2", "AP3"):
+        peers[peer_id] = AXMLPeer(
+            peer_id,
+            network,
+            peer_independent=peer_independent,
+            chaining=chaining,
+            injector=injector,
+        )
+    peers["AP1"].host_document(AXMLDocument.from_xml(ATPLIST_XML, name="ATPList"))
+    replication.register_primary("ATPList", "AP1")
+
+    peers["AP2"].host_service(
+        FunctionService(
+            ServiceDescriptor(
+                "getPoints",
+                kind="function",
+                params=(ParamSpec("name"),),
+                result_name="points",
+                compensatable=False,
+            ),
+            body=lambda params: [f"<points>{points_value}</points>"],
+        )
+    )
+    replication.register_service("getPoints", "AP2")
+
+    peers["AP3"].host_service(
+        FunctionService(
+            ServiceDescriptor(
+                "getGrandSlamsWonbyYear",
+                kind="function",
+                params=(ParamSpec("name"), ParamSpec("year")),
+                result_name="grandslamswon",
+                compensatable=False,
+            ),
+            body=lambda params: [
+                f'<grandslamswon year="{params["year"]}">A, F</grandslamswon>'
+            ],
+        )
+    )
+    replication.register_service("getGrandSlamsWonbyYear", "AP3")
+    return Scenario(network, injector, peers, replication)
+
+
+# ---------------------------------------------------------------------------
+# figure topologies
+# ---------------------------------------------------------------------------
+
+#: Fig. 1 (§3.2): AP1 invokes S2@AP2 and S3@AP3; processing S3, AP3
+#: invokes S4@AP4 and S5@AP5; processing S5, AP5 invokes S6@AP6.
+FIG1_TOPOLOGY: Dict[str, List[Tuple[str, str]]] = {
+    "AP1": [("AP2", "S2"), ("AP3", "S3")],
+    "AP3": [("AP4", "S4"), ("AP5", "S5")],
+    "AP5": [("AP6", "S6")],
+}
+
+#: Fig. 2 (§3.3): [AP1* -> AP2 -> [AP3 -> AP6] || [AP4 -> AP5]].
+FIG2_TOPOLOGY: Dict[str, List[Tuple[str, str]]] = {
+    "AP1": [("AP2", "S2")],
+    "AP2": [("AP3", "S3"), ("AP4", "S4")],
+    "AP3": [("AP6", "S6")],
+    "AP4": [("AP5", "S5")],
+}
+
+
+def _marker_action(peer_id: str) -> str:
+    """The local work of each figure service: insert a marker entry."""
+    return (
+        f'<action type="insert"><data><entry by="{peer_id}"/></data>'
+        f"<location>Select d from d in D{peer_id[2:]}//items;</location></action>"
+    )
+
+
+def _peer_document(peer_id: str) -> str:
+    index = peer_id[2:]
+    return f"<D{index}><items/></D{index}>"
+
+
+def build_topology(
+    topology: Dict[str, List[Tuple[str, str]]],
+    super_peers: Sequence[str] = ("AP1",),
+    peer_independent: bool = False,
+    chaining: bool = True,
+    chain_scope: str = "immediate",
+    parent_watch_interval: Optional[float] = None,
+    hop_latency: float = 0.005,
+    extra_peers: Sequence[str] = (),
+) -> Scenario:
+    """Build a scenario for an arbitrary invocation topology.
+
+    Every mentioned peer gets a document ``D<i>`` and a service ``S<i>``
+    (a :class:`DelegatingService` doing local work, then invoking its
+    children in topology order).  ``extra_peers`` creates idle peers
+    (replacement/replica targets for recovery experiments).
+    """
+    network, injector, replication = _base(hop_latency)
+    peer_ids: List[str] = []
+    for parent, children in topology.items():
+        if parent not in peer_ids:
+            peer_ids.append(parent)
+        for child, _ in children:
+            if child not in peer_ids:
+                peer_ids.append(child)
+    for extra in extra_peers:
+        if extra not in peer_ids:
+            peer_ids.append(extra)
+
+    peers: Dict[str, AXMLPeer] = {}
+    for peer_id in peer_ids:
+        peers[peer_id] = AXMLPeer(
+            peer_id,
+            network,
+            super_peer=peer_id in super_peers,
+            peer_independent=peer_independent,
+            chaining=chaining,
+            chain_scope=chain_scope,
+            parent_watch_interval=parent_watch_interval,
+            injector=injector,
+        )
+        document = AXMLDocument.from_xml(_peer_document(peer_id), name=f"D{peer_id[2:]}")
+        peers[peer_id].host_document(document)
+        replication.register_primary(document.name, peer_id)
+
+    for peer_id in peer_ids:
+        method = f"S{peer_id[2:]}"
+        delegations = topology.get(peer_id, [])
+        service = DelegatingService(
+            ServiceDescriptor(
+                method,
+                kind="delegating",
+                target_document=f"D{peer_id[2:]}",
+                result_name="entry",
+            ),
+            delegations=delegations,
+            local_action_template=_marker_action(peer_id),
+            extra_fragments=(f'<done by="{peer_id}" method="{method}"/>',),
+        )
+        peers[peer_id].host_service(service)
+        replication.register_service(method, peer_id)
+    return Scenario(network, injector, peers, replication, dict(topology))
+
+
+def build_fig1(**kwargs) -> Scenario:
+    """The Fig. 1 deployment (6 peers, nested invocations)."""
+    return build_topology(FIG1_TOPOLOGY, **kwargs)
+
+
+def build_fig2(**kwargs) -> Scenario:
+    """The Fig. 2 deployment (AP1 is a super peer, per the paper's chain)."""
+    kwargs.setdefault("super_peers", ("AP1",))
+    return build_topology(FIG2_TOPOLOGY, **kwargs)
+
+
+def run_root_transaction(scenario: Scenario, root: str = "AP1"):
+    """Begin a transaction at *root* and fire its topology invocations.
+
+    Returns ``(transaction, error)`` — *error* is the exception that
+    reached the origin when recovery ended backward, else None.
+    """
+    origin = scenario.peer(root)
+    transaction = origin.begin_transaction()
+    error = None
+    try:
+        for child, method in scenario.topology.get(root, []):
+            origin.invoke(transaction.txn_id, child, method, {})
+    except Exception as exc:  # noqa: BLE001 - scenario driver reports it
+        error = exc
+    return transaction, error

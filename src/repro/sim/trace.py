@@ -1,0 +1,108 @@
+"""Protocol trace recording.
+
+Wraps a :class:`SimNetwork` so every interaction — invocation, result,
+failure, notification, ping — is appended to an ordered trace.  Tests
+assert exact protocol message sequences (the executable equivalent of
+the paper's prose walk-throughs), and the CLI/examples can print traces
+as human-readable protocol transcripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import PeerDisconnected, ServiceFault
+from repro.p2p.messages import InvokeRequest
+from repro.p2p.network import SimNetwork
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded interaction."""
+
+    time: float
+    kind: str  # invoke | result | fault | disconnected | notify | ping
+    source: str
+    target: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        arrow = "->" if self.kind in ("invoke", "notify", "ping") else "<-"
+        return (
+            f"[{self.time:8.4f}] {self.source:>6} {arrow} {self.target:<6} "
+            f"{self.kind}({self.detail})"
+        )
+
+
+class TraceRecorder:
+    """Records every network interaction, in order."""
+
+    def __init__(self, network: SimNetwork):
+        self.network = network
+        self.events: List[TraceEvent] = []
+        self._original_rpc = network.rpc
+        self._original_notify = network.notify
+        self._original_ping = network.ping
+        network.rpc = self._rpc
+        network.notify = self._notify
+        network.ping = self._ping
+
+    # -- wrappers -----------------------------------------------------------
+
+    def _record(self, kind: str, source: str, target: str, detail: str) -> None:
+        self.events.append(
+            TraceEvent(self.network.clock.now, kind, source, target, detail)
+        )
+
+    def _rpc(self, source_id: str, target_id: str, request: InvokeRequest):
+        self._record("invoke", source_id, target_id, request.method_name)
+        try:
+            result = self._original_rpc(source_id, target_id, request)
+        except ServiceFault as fault:
+            self._record("fault", target_id, source_id,
+                         f"{request.method_name}:{fault.fault_name}")
+            raise
+        except PeerDisconnected as exc:
+            self._record("disconnected", target_id, source_id, exc.peer_id)
+            raise
+        self._record("result", target_id, source_id, request.method_name)
+        return result
+
+    def _notify(self, source_id: str, target_id: str, message: object) -> bool:
+        detail = type(message).__name__
+        txn_id = getattr(message, "txn_id", "")
+        if txn_id:
+            detail = f"{detail}:{txn_id}"
+        self._record("notify", source_id, target_id, detail)
+        return self._original_notify(source_id, target_id, message)
+
+    def _ping(self, source_id: str, target_id: str) -> bool:
+        alive = self._original_ping(source_id, target_id)
+        self._record("ping", source_id, target_id, "alive" if alive else "dead")
+        return alive
+
+    # -- reading ----------------------------------------------------------------
+
+    def detach(self) -> None:
+        """Restore the unwrapped network methods."""
+        self.network.rpc = self._original_rpc
+        self.network.notify = self._original_notify
+        self.network.ping = self._original_ping
+
+    def shorthand(self, kinds: Optional[Tuple[str, ...]] = None) -> List[str]:
+        """Compact ``kind:source->target:detail`` lines for assertions."""
+        out = []
+        for event in self.events:
+            if kinds is not None and event.kind not in kinds:
+                continue
+            out.append(
+                f"{event.kind}:{event.source}->{event.target}:{event.detail}"
+            )
+        return out
+
+    def transcript(self) -> str:
+        return "\n".join(str(event) for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,253 @@
+"""The per-peer transaction manager.
+
+"The transaction context, managed by the transaction manager, is a data
+structure which encapsulates the transaction id with all the information
+required for concurrency control, commit and recovery" (§3.2).  The
+manager owns the peer's operation log and transaction contexts, executes
+operations under a transaction, and performs the peer's share of
+compensation when a transaction aborts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.axml.document import AXMLDocument
+from repro.axml.materialize import Resolver
+from repro.errors import TransactionError
+from repro.query.ast import UpdateAction
+from repro.query.update import ChangeRecord
+from repro.txn.compensation import CompensationPlan
+from repro.txn.operations import (
+    OperationOutcome,
+    TransactionalOperation,
+    build_compensation,
+)
+from repro.txn.transaction import Transaction, TransactionContext, TransactionState
+from repro.txn.wal import OperationLog
+from repro.xmlstore.path import TraversalMeter
+
+#: Callable resolving a document name to the hosted AXML document.
+DocumentProvider = Callable[[str], AXMLDocument]
+
+
+class TransactionManager:
+    """Transaction bookkeeping and local recovery for one peer."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        document_provider: DocumentProvider,
+        ordered_compensation: bool = True,
+        validator: Optional["OptimisticValidator"] = None,
+    ):
+        self.peer_id = peer_id
+        self.log = OperationLog(peer_id)
+        self.contexts: Dict[str, TransactionContext] = {}
+        self._document_provider = document_provider
+        self.ordered_compensation = ordered_compensation
+        #: Optional optimistic concurrency control (see repro.txn.occ):
+        #: when set, executions are tracked and commit validates; a
+        #: conflict aborts-and-compensates, then raises.
+        self.validator = validator
+        #: Total nodes traversed by compensation at this peer (§3.2 cost).
+        self.compensation_cost = 0
+
+    # -- context lifecycle ---------------------------------------------------
+
+    def begin(
+        self,
+        transaction: Transaction,
+        parent_peer: Optional[str] = None,
+        service_name: Optional[str] = None,
+    ) -> TransactionContext:
+        """Create (or return) this peer's context for *transaction*.
+
+        A participant whose previous context finished (aborted during
+        nested recovery) gets a *fresh* context: the parent's retry (§3.2
+        forward recovery) is a new attempt, not a resurrection — the old
+        attempt's effects were already compensated.
+        """
+        existing = self.contexts.get(transaction.txn_id)
+        if existing is not None:
+            if existing.is_finished and parent_peer is not None:
+                del self.contexts[transaction.txn_id]
+            else:
+                return existing
+        context = TransactionContext(
+            transaction, self.peer_id, parent_peer, service_name
+        )
+        self.contexts[transaction.txn_id] = context
+        if self.validator is not None:
+            self.validator.begin(transaction.txn_id)
+        return context
+
+    def context(self, txn_id: str) -> TransactionContext:
+        try:
+            return self.contexts[txn_id]
+        except KeyError:
+            raise TransactionError(
+                f"peer {self.peer_id!r} has no context for transaction {txn_id!r}"
+            )
+
+    def has_context(self, txn_id: str) -> bool:
+        return txn_id in self.contexts
+
+    # -- operation execution ------------------------------------------------------
+
+    def execute(
+        self,
+        txn_id: str,
+        action: UpdateAction,
+        document_name: str,
+        resolver: Optional[Resolver] = None,
+        evaluation: str = "lazy",
+        timestamp: float = 0.0,
+    ) -> OperationOutcome:
+        """Execute one operation under the transaction and log it."""
+        context = self.context(txn_id)
+        context.require_active()
+        axml_document = self._document_provider(document_name)
+        operation = TransactionalOperation(txn_id, action, evaluation)
+        outcome = operation.execute(
+            axml_document, resolver, self.log, timestamp=timestamp
+        )
+        if outcome.log_entry is not None:
+            context.log_seqs.append(outcome.log_entry.seq)
+        if self.validator is not None:
+            from repro.txn.occ import read_ids, written_ids
+
+            if outcome.query_result is not None:
+                self.validator.track_reads(txn_id, read_ids(outcome.query_result))
+            records = outcome.change_records()
+            if records:
+                self.validator.track_writes(txn_id, written_ids(records))
+        return outcome
+
+    def record_service_changes(
+        self,
+        txn_id: str,
+        document_name: str,
+        action_xml: str,
+        records: Sequence[ChangeRecord],
+        timestamp: float = 0.0,
+    ) -> None:
+        """Log changes made by a service executed for a remote invoker."""
+        context = self.context(txn_id)
+        context.require_active()
+        entry = self.log.append(
+            txn_id=txn_id,
+            kind="service",
+            document_name=document_name,
+            action_xml=action_xml,
+            records=records,
+            timestamp=timestamp,
+        )
+        context.log_seqs.append(entry.seq)
+
+    # -- commit / abort ---------------------------------------------------------------
+
+    def commit_local(self, txn_id: str) -> None:
+        """Commit this peer's share: log entries are no longer needed.
+
+        A context already aborted stays aborted: this happens when the
+        origin absorbed a participant's fault (forward recovery) and
+        committed the rest — the faulted participant's share was already
+        compensated, which is exactly the absorb semantics.
+        """
+        context = self.context(txn_id)
+        if context.is_finished:
+            return
+        if self.validator is not None:
+            from repro.txn.occ import ValidationConflict
+
+            try:
+                self.validator.validate_and_commit(txn_id)
+            except ValidationConflict:
+                # First-committer-wins: the loser aborts, compensation
+                # removes its writes, and the conflict surfaces.
+                self.abort_local(txn_id)
+                raise
+        context.transition(TransactionState.COMMITTED)
+        self.log.truncate(txn_id)
+
+    def abort_local(self, txn_id: str, meter: Optional[TraversalMeter] = None) -> int:
+        """Backward recovery of this peer's share: compensate from the log.
+
+        Returns the number of compensating actions executed.  Idempotent:
+        an already-aborted context compensates nothing.
+        """
+        context = self.context(txn_id)
+        if context.is_finished:
+            return 0
+        if self.validator is not None:
+            self.validator.abort(txn_id)
+        context.transition(TransactionState.COMPENSATING)
+        meter = meter or TraversalMeter()
+        executed = 0
+        plans = build_compensation(self.log, txn_id, self.ordered_compensation)
+        for plan in plans:
+            document = self._document_provider(plan.document_name).document
+            plan.execute(document, meter)
+            executed += len(plan)
+        self.compensation_cost += meter.nodes_traversed
+        context.transition(TransactionState.ABORTED)
+        self.log.truncate(txn_id)
+        return executed
+
+    def mark_aborted_without_compensation(self, txn_id: str) -> None:
+        """Abandon a context without compensating (a *dead* peer's state).
+
+        Used when the peer has disconnected: its modifications become
+        unreachable garbage exactly as the paper warns (§3.3's atomicity
+        discussion) — unless peer-independent compensation lets someone
+        else clean up.
+        """
+        context = self.context(txn_id)
+        if context.is_finished:
+            return
+        if self.validator is not None:
+            self.validator.abort(txn_id)
+        if context.state is TransactionState.ACTIVE:
+            context.transition(TransactionState.COMPENSATING)
+        context.transition(TransactionState.ABORTED)
+
+    # -- peer-independent compensation (§3.2) --------------------------------------
+
+    def build_compensation_xml(
+        self, txn_id: str, records: Sequence[ChangeRecord], document_name: str
+    ) -> str:
+        """The compensating-service definition for one service execution.
+
+        "A peer APY, processing the invocation of a service S, also
+        returns the definition of the compensating service CS_SY of S
+        along with the invocation results."
+        """
+        plan = CompensationPlan(document_name)
+        plan.extend_from_records(records, self.ordered_compensation)
+        return plan.to_xml()
+
+    def apply_compensation_xml(
+        self, plan_xml: str, meter: Optional[TraversalMeter] = None
+    ) -> int:
+        """Execute a received compensating-service definition locally.
+
+        "The original peers do not even need to be aware that the
+        services they are executing are, basically, compensating
+        services" — this entry point takes the plan as opaque XML.
+        """
+        plan = CompensationPlan.from_xml(plan_xml)
+        document = self._document_provider(plan.document_name).document
+        meter = meter or TraversalMeter()
+        plan.execute(document, meter)
+        self.compensation_cost += meter.nodes_traversed
+        return len(plan)
+
+    # -- inspection ------------------------------------------------------------------
+
+    def active_transactions(self) -> List[str]:
+        return [
+            txn_id
+            for txn_id, ctx in self.contexts.items()
+            if ctx.state is TransactionState.ACTIVE
+        ]

@@ -1,0 +1,281 @@
+"""The per-peer operation log.
+
+§3.1 spells out what must be logged to make dynamic compensation
+possible: "the delete operations as well as the results of the
+<location> queries of the delete operations need to be logged", insert
+operations log the returned node ids, and query operations log the
+change records of every service-call materialization they triggered.
+
+The log is append-only and in-memory (durability is out of the paper's
+scope — peers fail by *disconnecting*, not by losing state), but it
+round-trips through a text form so tests can assert exactly what a
+recovering peer would see.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.query.update import ChangeRecord
+
+
+@dataclass
+class LogEntry:
+    """One logged forward operation.
+
+    ``kind`` is ``update`` (insert/delete/replace), ``query`` (with the
+    materialization records lazy evaluation produced) or ``service``
+    (an operation executed on behalf of a remote invoker).
+    """
+
+    seq: int
+    txn_id: str
+    kind: str
+    document_name: str
+    action_xml: str
+    records: List[ChangeRecord] = field(default_factory=list)
+    #: Simulated time of the append (0.0 outside a simulation).
+    timestamp: float = 0.0
+
+    @property
+    def is_compensatable(self) -> bool:
+        return bool(self.records)
+
+
+class OperationLog:
+    """Append-only operation log of one peer."""
+
+    def __init__(self, peer_id: str = ""):
+        self.peer_id = peer_id
+        self._entries: List[LogEntry] = []
+        self._seq = itertools.count(1)
+
+    def append(
+        self,
+        txn_id: str,
+        kind: str,
+        document_name: str,
+        action_xml: str,
+        records: Sequence[ChangeRecord] = (),
+        timestamp: float = 0.0,
+    ) -> LogEntry:
+        """Append a forward operation's log entry and return it."""
+        entry = LogEntry(
+            seq=next(self._seq),
+            txn_id=txn_id,
+            kind=kind,
+            document_name=document_name,
+            action_xml=action_xml,
+            records=list(records),
+            timestamp=timestamp,
+        )
+        self._entries.append(entry)
+        return entry
+
+    # -- reading ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def entries_for(self, txn_id: str) -> List[LogEntry]:
+        """All live entries of one transaction, oldest first."""
+        return [e for e in self._entries if e.txn_id == txn_id]
+
+    def undo_entries(self, txn_id: str) -> List[LogEntry]:
+        """Entries to compensate, newest first (reverse execution order)."""
+        return list(reversed(self.entries_for(txn_id)))
+
+    def documents_touched(self, txn_id: str) -> List[str]:
+        """Distinct documents the transaction modified, in first-touch order."""
+        seen = set()
+        out: List[str] = []
+        for entry in self.entries_for(txn_id):
+            if entry.records and entry.document_name not in seen:
+                seen.add(entry.document_name)
+                out.append(entry.document_name)
+        return out
+
+    def record_count(self, txn_id: str) -> int:
+        return sum(len(e.records) for e in self.entries_for(txn_id))
+
+    # -- truncation ----------------------------------------------------------
+
+    def truncate(self, txn_id: str) -> int:
+        """Drop a finished transaction's entries; returns how many.
+
+        Called on commit (compensation will never be needed) or after
+        compensation completes.
+        """
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if e.txn_id != txn_id]
+        return before - len(self._entries)
+
+    # -- diagnostics --------------------------------------------------------------
+
+    def approximate_bytes(self, txn_id: Optional[str] = None) -> int:
+        """Rough log footprint (used by the log-vs-snapshot experiment E3)."""
+        entries = self.entries_for(txn_id) if txn_id else self._entries
+        total = 0
+        for entry in entries:
+            total += len(entry.action_xml)
+            for record in entry.records:
+                snapshot = getattr(record, "snapshot_xml", "")
+                inserted = getattr(record, "inserted_xml", "")
+                total += len(snapshot) + len(inserted) + 32
+                if record.kind == "replace":
+                    total += len(record.deleted.snapshot_xml)
+                    total += sum(len(i.inserted_xml) for i in record.inserted)
+        return total
+
+    def dump(self) -> str:
+        """Human-readable text form of the whole log."""
+        lines = []
+        for e in self._entries:
+            lines.append(
+                f"#{e.seq} [{e.txn_id}] {e.kind} doc={e.document_name} "
+                f"records={len(e.records)} t={e.timestamp:.3f} {e.action_xml}"
+            )
+        return "\n".join(lines)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Serialize the full log as an XML document.
+
+        Together with :meth:`from_text` this gives peers a restart
+        story: a peer that went down with in-flight transactions can
+        reload its log and compensate them on rejoin (see
+        ``AXMLPeer.rejoin``).  The encoding dogfoods the library's own
+        XML layer.
+        """
+        from repro.xmlstore.nodes import Document
+        from repro.xmlstore.serializer import serialize
+
+        doc = Document("log")
+        root = doc.create_root("log")
+        root.attributes["peer"] = self.peer_id
+        for entry in self._entries:
+            entry_el = root.new_element(
+                "entry",
+                {
+                    "seq": str(entry.seq),
+                    "txn": entry.txn_id,
+                    "kind": entry.kind,
+                    "document": entry.document_name,
+                    "timestamp": repr(entry.timestamp),
+                },
+            )
+            entry_el.new_element("forward").new_text(entry.action_xml)
+            for record in entry.records:
+                _record_to_element(entry_el, record)
+        return serialize(doc)
+
+    @classmethod
+    def from_text(cls, text: str) -> "OperationLog":
+        """Restore a log serialized by :meth:`to_text`."""
+        import itertools as _itertools
+
+        from repro.xmlstore.parser import parse_document
+
+        doc = parse_document(text, name="log")
+        log = cls(doc.root.attributes.get("peer", ""))
+        max_seq = 0
+        for entry_el in doc.root.find_children("entry"):
+            forward_el = entry_el.first_child("forward")
+            records = [
+                _record_from_element(rec_el)
+                for rec_el in entry_el.find_children("record")
+            ]
+            entry = LogEntry(
+                seq=int(entry_el.attributes["seq"]),
+                txn_id=entry_el.attributes["txn"],
+                kind=entry_el.attributes["kind"],
+                document_name=entry_el.attributes["document"],
+                action_xml=forward_el.text_content() if forward_el is not None else "",
+                records=records,
+                timestamp=float(entry_el.attributes.get("timestamp", "0")),
+            )
+            log._entries.append(entry)
+            max_seq = max(max_seq, entry.seq)
+        log._seq = _itertools.count(max_seq + 1)
+        return log
+
+
+def _record_to_element(parent, record: ChangeRecord) -> None:
+    from repro.query.update import DeleteRecord, InsertRecord, ReplaceRecord
+
+    if isinstance(record, DeleteRecord):
+        el = parent.new_element(
+            "record",
+            {
+                "kind": "delete",
+                "node": repr(record.node_id),
+                "parent": repr(record.parent_id),
+                "index": str(record.index),
+                "before": repr(record.before_id) if record.before_id else "",
+                "after": repr(record.after_id) if record.after_id else "",
+            },
+        )
+        el.new_element("snapshot").new_text(record.snapshot_xml)
+    elif isinstance(record, InsertRecord):
+        el = parent.new_element(
+            "record",
+            {
+                "kind": "insert",
+                "node": repr(record.node_id),
+                "parent": repr(record.parent_id),
+                "index": str(record.index),
+            },
+        )
+        el.new_element("data").new_text(record.inserted_xml)
+    elif isinstance(record, ReplaceRecord):
+        el = parent.new_element("record", {"kind": "replace"})
+        _record_to_element(el, record.deleted)
+        for inserted in record.inserted:
+            _record_to_element(el, inserted)
+    else:  # pragma: no cover - exhaustive
+        raise TypeError(f"unknown record {record!r}")
+
+
+def _record_from_element(element) -> ChangeRecord:
+    from repro.query.update import DeleteRecord, InsertRecord, ReplaceRecord
+    from repro.xmlstore.nodes import NodeId
+
+    kind = element.attributes.get("kind", "")
+    if kind == "delete":
+        snapshot_el = element.first_child("snapshot")
+        return DeleteRecord(
+            node_id=NodeId.parse(element.attributes["node"]),
+            parent_id=NodeId.parse(element.attributes["parent"]),
+            index=int(element.attributes["index"]),
+            before_id=(
+                NodeId.parse(element.attributes["before"])
+                if element.attributes.get("before")
+                else None
+            ),
+            after_id=(
+                NodeId.parse(element.attributes["after"])
+                if element.attributes.get("after")
+                else None
+            ),
+            snapshot_xml=snapshot_el.text_content() if snapshot_el is not None else "",
+        )
+    if kind == "insert":
+        data_el = element.first_child("data")
+        return InsertRecord(
+            node_id=NodeId.parse(element.attributes["node"]),
+            parent_id=NodeId.parse(element.attributes["parent"]),
+            index=int(element.attributes["index"]),
+            inserted_xml=data_el.text_content() if data_el is not None else "",
+        )
+    if kind == "replace":
+        children = element.find_children("record")
+        deleted = _record_from_element(children[0])
+        inserted = [_record_from_element(child) for child in children[1:]]
+        return ReplaceRecord(deleted, inserted)
+    raise ValueError(f"unknown record kind {kind!r}")

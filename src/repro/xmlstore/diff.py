@@ -1,0 +1,200 @@
+"""Structural diff between two versions of a document.
+
+Dynamic compensation (§3.1) normally works from the operation log.  The
+differ is the belt-and-braces verification path used by the test-suite
+and by experiment E1: apply an operation and its constructed
+compensation, then assert the diff against the pre-state is empty (or
+contains only acceptable-state deviations).
+
+The diff is *id-based*: both versions are indexed by :class:`NodeId` and
+the edit script reports inserts, deletes, text updates, attribute updates
+and moves.  This exploits the store's stable ids (clones used for
+snapshots preserve ids), which makes the diff exact rather than
+heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.xmlstore.nodes import Document, Element, Node, NodeId, Text
+
+
+@dataclass(frozen=True)
+class EditOp:
+    """One edit: ``kind`` is ``insert``, ``delete``, ``text``, ``attrs``
+    or ``move``.
+
+    * ``insert`` — node ``node_id`` exists only in the new version; its
+      parent and index there are recorded.
+    * ``delete`` — node exists only in the old version.
+    * ``text`` — a text node's value changed (old → new).
+    * ``attrs`` — an element's attributes changed (old → new mapping).
+    * ``move`` — node exists in both versions but under a different
+      parent or index.
+    """
+
+    kind: str
+    node_id: NodeId
+    parent_id: Optional[NodeId] = None
+    index: Optional[int] = None
+    old: Optional[object] = None
+    new: Optional[object] = None
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.node_id!r})"
+
+
+@dataclass
+class EditScript:
+    """An ordered collection of :class:`EditOp` values."""
+
+    ops: List[EditOp]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def is_empty(self) -> bool:
+        """True when the two versions are structurally identical."""
+        return not self.ops
+
+    def kinds(self) -> List[str]:
+        return [op.kind for op in self.ops]
+
+    def by_kind(self, kind: str) -> List[EditOp]:
+        return [op for op in self.ops if op.kind == kind]
+
+
+def _index(document: Document) -> Dict[NodeId, Tuple[Node, Optional[NodeId], int]]:
+    """Map attached node id → (node, parent id, index in parent)."""
+    table: Dict[NodeId, Tuple[Node, Optional[NodeId], int]] = {}
+    if document.root is None:
+        return table
+    table[document.root.node_id] = (document.root, None, 0)
+    for element in document.iter_elements():
+        for i, child in enumerate(element.children):
+            table[child.node_id] = (child, element.node_id, i)
+    return table
+
+
+def diff_documents(
+    old: Document, new: Document, ignore_text_identity: bool = False
+) -> EditScript:
+    """Compute the id-based edit script transforming *old* into *new*.
+
+    Deletes are emitted deepest-first and inserts shallowest-first so the
+    script can be replayed mechanically.  Subtrees inserted or deleted
+    wholesale are reported by their root only (children are implied).
+
+    ``ignore_text_identity=True`` suppresses delete/insert pairs caused
+    purely by a text node's *id* changing while its parent element kept
+    the same text content — compensation restores element identities
+    (via persisted ids) but text nodes are recreated fresh.
+    """
+    old_index = _index(old)
+    new_index = _index(new)
+    ops: List[EditOp] = []
+
+    deleted_ids = [nid for nid in old_index if nid not in new_index]
+    inserted_ids = [nid for nid in new_index if nid not in old_index]
+    deleted_set = set(deleted_ids)
+    inserted_set = set(inserted_ids)
+
+    # Roots only: skip nodes whose parent is also deleted/inserted.
+    for nid in deleted_ids:
+        node, parent_id, index = old_index[nid]
+        if parent_id in deleted_set:
+            continue
+        if ignore_text_identity and _is_equivalent_text(
+            node, parent_id, old_index, new_index
+        ):
+            continue
+        ops.append(EditOp("delete", nid, parent_id=parent_id, index=index, old=node))
+    for nid in inserted_ids:
+        node, parent_id, index = new_index[nid]
+        if parent_id in inserted_set:
+            continue
+        if ignore_text_identity and _is_equivalent_text(
+            node, parent_id, new_index, old_index
+        ):
+            continue
+        ops.append(EditOp("insert", nid, parent_id=parent_id, index=index, new=node))
+
+    for nid, (old_node, old_parent, old_pos) in old_index.items():
+        entry = new_index.get(nid)
+        if entry is None:
+            continue
+        new_node, new_parent, new_pos = entry
+        if isinstance(old_node, Text) and isinstance(new_node, Text):
+            if old_node.value != new_node.value:
+                ops.append(EditOp("text", nid, old=old_node.value, new=new_node.value))
+        elif isinstance(old_node, Element) and isinstance(new_node, Element):
+            if old_node.attributes != new_node.attributes:
+                ops.append(
+                    EditOp(
+                        "attrs",
+                        nid,
+                        old=dict(old_node.attributes),
+                        new=dict(new_node.attributes),
+                    )
+                )
+        if old_parent != new_parent or _effective_index(
+            nid, old_parent, old_pos, deleted_set, old_index
+        ) != _effective_index(nid, new_parent, new_pos, inserted_set, new_index):
+            if old_parent != new_parent:
+                ops.append(
+                    EditOp(
+                        "move",
+                        nid,
+                        parent_id=new_parent,
+                        index=new_pos,
+                        old=(old_parent, old_pos),
+                        new=(new_parent, new_pos),
+                    )
+                )
+    return EditScript(ops)
+
+
+def _is_equivalent_text(
+    node: Node,
+    parent_id: Optional[NodeId],
+    this_index: Dict[NodeId, Tuple[Node, Optional[NodeId], int]],
+    other_index: Dict[NodeId, Tuple[Node, Optional[NodeId], int]],
+) -> bool:
+    """True when *node* is a text node whose parent exists in both
+    versions with identical overall text content."""
+    if not isinstance(node, Text) or parent_id is None:
+        return False
+    other_entry = other_index.get(parent_id)
+    if other_entry is None:
+        return False
+    this_parent = this_index[parent_id][0]
+    other_parent = other_entry[0]
+    return this_parent.text_content() == other_parent.text_content()
+
+
+def _effective_index(
+    node_id: NodeId,
+    parent_id: Optional[NodeId],
+    position: int,
+    changed: set,
+    table: Dict[NodeId, Tuple[Node, Optional[NodeId], int]],
+) -> int:
+    """Index among siblings that exist in *both* versions.
+
+    Pure positional shifts caused by an inserted/deleted earlier sibling
+    must not count as moves of the later siblings.
+    """
+    if parent_id is None:
+        return 0
+    parent_node = table[parent_id][0]
+    assert isinstance(parent_node, Element)
+    effective = 0
+    for child in parent_node.children[:position]:
+        if child.node_id not in changed:
+            effective += 1
+    return effective

@@ -1,0 +1,470 @@
+"""The mutable XML node tree with stable node identifiers.
+
+Design notes
+------------
+The paper's dynamic-compensation construction (§3.1) depends on three
+properties of the store that plain DOM trees do not give you for free:
+
+* **Stable unique node ids** — an AXML insert "returns the (unique) ID of
+  the inserted node"; its compensation deletes *that id*, not whatever
+  happens to match a path later.
+* **Ordered children with sibling anchors** — the paper notes the
+  delete-compensation "does not preserve the original ordering of the
+  deleted nodes" unless the insert semantics allow insertion
+  "before/after a specific node" [16].  We record sibling anchors on
+  detach so compensation can be order-preserving.
+* **Deep cloning that preserves ids** — logging the result of a
+  ``<location>`` query must capture the deleted subtree exactly,
+  including ids, so re-insertion restores the original identities.
+
+Node ids are allocated from a per-document counter, so two documents can
+be built independently and merged without coordination (ids are qualified
+by the document's own id).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import NodeNotFound, XmlStructureError
+from repro.xmlstore.names import QName
+
+_document_counter = itertools.count(1)
+
+
+class NodeId:
+    """A stable, globally unique node identifier.
+
+    The identifier is the pair *(document serial, per-document serial)*;
+    its string form, e.g. ``"d3.n17"``, is what update services return to
+    callers (paper §3.1).
+    """
+
+    __slots__ = ("doc_serial", "node_serial")
+
+    def __init__(self, doc_serial: int, node_serial: int):
+        self.doc_serial = doc_serial
+        self.node_serial = node_serial
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, NodeId)
+            and self.doc_serial == other.doc_serial
+            and self.node_serial == other.node_serial
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.doc_serial, self.node_serial))
+
+    def __repr__(self) -> str:
+        return f"d{self.doc_serial}.n{self.node_serial}"
+
+    @classmethod
+    def parse(cls, text: str) -> "NodeId":
+        """Parse the ``"d<doc>.n<node>"`` string form back to a NodeId."""
+        try:
+            doc_part, node_part = text.split(".")
+            if doc_part[0] != "d" or node_part[0] != "n":
+                raise ValueError(text)
+            return cls(int(doc_part[1:]), int(node_part[1:]))
+        except (ValueError, IndexError) as exc:
+            raise ValueError(f"malformed node id: {text!r}") from exc
+
+
+class Node:
+    """Base class of all tree nodes.
+
+    A node belongs to exactly one :class:`Document` (which allocates its
+    id) and has at most one parent.  Subclasses: :class:`Element` and
+    :class:`Text`.
+    """
+
+    __slots__ = ("node_id", "parent", "_document")
+
+    def __init__(self, document: "Document"):
+        self._document = document
+        self.node_id: NodeId = document._allocate_id(self)
+        self.parent: Optional[Element] = None
+
+    @property
+    def document(self) -> "Document":
+        """The owning document."""
+        return self._document
+
+    # -- tree navigation ----------------------------------------------------
+
+    def ancestors(self) -> Iterator["Element"]:
+        """Yield parent, grandparent, … up to (excluding) the document."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root(self) -> "Node":
+        """The topmost node of the subtree containing this node."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def is_attached(self) -> bool:
+        """True when this node is reachable from its document's root."""
+        return self.root() is self._document.root
+
+    def index_in_parent(self) -> int:
+        """Position of this node among its parent's children."""
+        if self.parent is None:
+            raise XmlStructureError("node has no parent")
+        return self.parent.children.index(self)
+
+    def preceding_sibling(self) -> Optional["Node"]:
+        """The sibling immediately before this node, or None."""
+        if self.parent is None:
+            return None
+        idx = self.index_in_parent()
+        if idx == 0:
+            return None
+        return self.parent.children[idx - 1]
+
+    def following_sibling(self) -> Optional["Node"]:
+        """The sibling immediately after this node, or None."""
+        if self.parent is None:
+            return None
+        idx = self.index_in_parent()
+        siblings = self.parent.children
+        if idx + 1 >= len(siblings):
+            return None
+        return siblings[idx + 1]
+
+    # -- mutation -----------------------------------------------------------
+
+    def detach(self) -> "DetachRecord":
+        """Remove this node from its parent.
+
+        Returns a :class:`DetachRecord` carrying the parent id and sibling
+        anchors, which is exactly the information dynamic compensation
+        needs to restore order-preserving position (§3.1).
+        """
+        if self.parent is None:
+            raise XmlStructureError("cannot detach a parentless node")
+        parent = self.parent
+        idx = self.index_in_parent()
+        before = self.preceding_sibling()
+        after = self.following_sibling()
+        parent.children.pop(idx)
+        self.parent = None
+        return DetachRecord(
+            node=self,
+            parent_id=parent.node_id,
+            index=idx,
+            before_id=before.node_id if before is not None else None,
+            after_id=after.node_id if after is not None else None,
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def subtree_size(self) -> int:
+        """Number of nodes in the subtree rooted here (inclusive)."""
+        return 1
+
+    def text_content(self) -> str:
+        """Concatenated text of the subtree."""
+        return ""
+
+    def clone_into(self, document: "Document", preserve_ids: bool = False) -> "Node":
+        """Deep-copy this subtree into *document*.
+
+        With ``preserve_ids=True`` the copy keeps the original ids — used
+        when logging deleted subtrees for compensation, so re-insertion
+        restores identities.  Preserved ids are re-registered with the
+        target document.
+        """
+        raise NotImplementedError
+
+
+class DetachRecord:
+    """Everything needed to re-attach a detached node where it was.
+
+    ``before_id``/``after_id`` are the sibling anchors ([16]'s
+    insert-before/after semantics); ``index`` is the positional fallback.
+    """
+
+    __slots__ = ("node", "parent_id", "index", "before_id", "after_id")
+
+    def __init__(
+        self,
+        node: Node,
+        parent_id: NodeId,
+        index: int,
+        before_id: Optional[NodeId],
+        after_id: Optional[NodeId],
+    ):
+        self.node = node
+        self.parent_id = parent_id
+        self.index = index
+        self.before_id = before_id
+        self.after_id = after_id
+
+
+class Text(Node):
+    """A text node."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, document: "Document", value: str):
+        super().__init__(document)
+        self.value = value
+
+    def text_content(self) -> str:
+        return self.value
+
+    def clone_into(self, document: "Document", preserve_ids: bool = False) -> "Text":
+        clone = Text(document, self.value)
+        if preserve_ids:
+            document._adopt_id(clone, self.node_id)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Text({self.value!r}, id={self.node_id!r})"
+
+
+class Element(Node):
+    """An element node with a qualified name, attributes and children."""
+
+    __slots__ = ("name", "attributes", "children")
+
+    def __init__(
+        self,
+        document: "Document",
+        name: Union[str, QName],
+        attributes: Optional[Dict[str, str]] = None,
+    ):
+        super().__init__(document)
+        self.name: QName = QName.parse(name) if isinstance(name, str) else name
+        self.attributes: Dict[str, str] = dict(attributes or {})
+        self.children: List[Node] = []
+
+    # -- construction helpers -------------------------------------------------
+
+    def append(self, child: Node) -> Node:
+        """Append *child* as the last child and return it."""
+        self._check_adoptable(child)
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def insert_at(self, index: int, child: Node) -> Node:
+        """Insert *child* at *index* (clamped to the valid range)."""
+        self._check_adoptable(child)
+        index = max(0, min(index, len(self.children)))
+        child.parent = self
+        self.children.insert(index, child)
+        return child
+
+    def insert_before(self, anchor: Node, child: Node) -> Node:
+        """Insert *child* immediately before *anchor* (a current child)."""
+        idx = self.children.index(anchor)
+        return self.insert_at(idx, child)
+
+    def insert_after(self, anchor: Node, child: Node) -> Node:
+        """Insert *child* immediately after *anchor* (a current child)."""
+        idx = self.children.index(anchor)
+        return self.insert_at(idx + 1, child)
+
+    def new_element(
+        self, name: Union[str, QName], attributes: Optional[Dict[str, str]] = None
+    ) -> "Element":
+        """Create and append a child element; returns the child."""
+        child = Element(self._document, name, attributes)
+        self.append(child)
+        return child
+
+    def new_text(self, value: str) -> Text:
+        """Create and append a text child; returns the child."""
+        child = Text(self._document, value)
+        self.append(child)
+        return child
+
+    def _check_adoptable(self, child: Node) -> None:
+        if child.parent is not None:
+            raise XmlStructureError(
+                f"node {child.node_id!r} already has a parent; detach it first"
+            )
+        if child._document is not self._document:
+            raise XmlStructureError(
+                "cannot attach a node from a different document; use clone_into"
+            )
+        if child is self or (isinstance(child, Element) and self in child.iter()):
+            raise XmlStructureError("attaching a node under itself creates a cycle")
+
+    # -- navigation ------------------------------------------------------------
+
+    def iter(self) -> Iterator[Node]:
+        """Depth-first pre-order traversal of the subtree (inclusive)."""
+        stack: List[Node] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, Element):
+                stack.extend(reversed(node.children))
+
+    def iter_elements(self) -> Iterator["Element"]:
+        """Like :meth:`iter` but yields only elements."""
+        for node in self.iter():
+            if isinstance(node, Element):
+                yield node
+
+    def child_elements(self) -> List["Element"]:
+        """Direct children that are elements, in document order."""
+        return [c for c in self.children if isinstance(c, Element)]
+
+    def find_children(self, name: Union[str, QName]) -> List["Element"]:
+        """Direct child elements with the given name."""
+        qname = QName.parse(name) if isinstance(name, str) else name
+        return [c for c in self.child_elements() if c.name == qname]
+
+    def first_child(self, name: Union[str, QName]) -> Optional["Element"]:
+        """First direct child element with the given name, or None."""
+        matches = self.find_children(name)
+        return matches[0] if matches else None
+
+    # -- content ----------------------------------------------------------------
+
+    def text_content(self) -> str:
+        return "".join(child.text_content() for child in self.children)
+
+    def set_text(self, value: str) -> None:
+        """Replace all children with a single text node holding *value*."""
+        for child in list(self.children):
+            child.detach()
+        self.new_text(value)
+
+    def subtree_size(self) -> int:
+        return 1 + sum(child.subtree_size() for child in self.children)
+
+    def clone_into(self, document: "Document", preserve_ids: bool = False) -> "Element":
+        clone = Element(document, self.name, dict(self.attributes))
+        if preserve_ids:
+            document._adopt_id(clone, self.node_id)
+        for child in self.children:
+            clone.append(child.clone_into(document, preserve_ids=preserve_ids))
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Element(<{self.name.text}>, id={self.node_id!r}, children={len(self.children)})"
+
+
+class Document:
+    """An XML document: id allocator, node index, and a single root element.
+
+    The document keeps an index from :class:`NodeId` to node so that
+    compensation can delete "the node having the corresponding ID" in
+    O(1) (§3.1).  Detached nodes stay in the index until garbage-collected
+    by :meth:`vacuum`; this mirrors a store that logically deletes.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.serial = next(_document_counter)
+        self._next_node_serial = itertools.count(1)
+        self._index: Dict[NodeId, Node] = {}
+        self.root: Optional[Element] = None
+
+    # -- id management -----------------------------------------------------------
+
+    def _allocate_id(self, node: Node) -> NodeId:
+        node_id = NodeId(self.serial, next(self._next_node_serial))
+        self._index[node_id] = node
+        return node_id
+
+    def _adopt_id(self, node: Node, node_id: NodeId) -> None:
+        """Re-register *node* under a preserved foreign id."""
+        del self._index[node.node_id]
+        node.node_id = node_id
+        self._index[node_id] = node
+
+    # -- construction --------------------------------------------------------------
+
+    def create_root(
+        self, name: Union[str, QName], attributes: Optional[Dict[str, str]] = None
+    ) -> Element:
+        """Create the root element.  A document has exactly one root."""
+        if self.root is not None:
+            raise XmlStructureError("document already has a root element")
+        self.root = Element(self, name, attributes)
+        return self.root
+
+    def create_element(
+        self, name: Union[str, QName], attributes: Optional[Dict[str, str]] = None
+    ) -> Element:
+        """Create a detached element owned by this document."""
+        return Element(self, name, attributes)
+
+    def create_text(self, value: str) -> Text:
+        """Create a detached text node owned by this document."""
+        return Text(self, value)
+
+    # -- lookup -----------------------------------------------------------------------
+
+    def get_node(self, node_id: NodeId) -> Node:
+        """Resolve a node id; raises :class:`NodeNotFound` if absent."""
+        try:
+            return self._index[node_id]
+        except KeyError:
+            raise NodeNotFound(f"no node with id {node_id!r} in document {self.name!r}")
+
+    def has_node(self, node_id: NodeId) -> bool:
+        """True if *node_id* is known (attached or logically deleted)."""
+        return node_id in self._index
+
+    def iter(self) -> Iterator[Node]:
+        """Traverse all attached nodes in document order."""
+        if self.root is None:
+            return iter(())
+        return self.root.iter()
+
+    def iter_elements(self) -> Iterator[Element]:
+        """Traverse all attached elements in document order."""
+        if self.root is None:
+            return iter(())
+        return self.root.iter_elements()
+
+    def size(self) -> int:
+        """Number of attached nodes."""
+        return self.root.subtree_size() if self.root is not None else 0
+
+    # -- maintenance ----------------------------------------------------------------------
+
+    def vacuum(self) -> int:
+        """Drop index entries for nodes no longer reachable from the root.
+
+        Returns the number of entries removed.  Run after compensation is
+        no longer possible (transaction committed and log truncated).
+        """
+        reachable = set()
+        if self.root is not None:
+            reachable = {node.node_id for node in self.root.iter()}
+        dead = [node_id for node_id in self._index if node_id not in reachable]
+        for node_id in dead:
+            del self._index[node_id]
+        return len(dead)
+
+    def clone(self, preserve_ids: bool = True) -> "Document":
+        """Deep-copy the document (used by the snapshot-rollback baseline)."""
+        copy = Document(self.name)
+        if self.root is not None:
+            copy.root = self.root.clone_into(copy, preserve_ids=preserve_ids)
+        return copy
+
+    def __repr__(self) -> str:
+        return f"Document({self.name!r}, serial=d{self.serial}, size={self.size()})"
+
+
+def walk_match(
+    start: Element, predicate: Callable[[Element], bool]
+) -> Iterator[Element]:
+    """Yield descendant-or-self elements of *start* matching *predicate*."""
+    for element in start.iter_elements():
+        if predicate(element):
+            yield element

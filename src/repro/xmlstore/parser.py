@@ -1,0 +1,276 @@
+"""A from-scratch XML parser producing :mod:`repro.xmlstore.nodes` trees.
+
+The parser is a hand-written single-pass recursive-descent parser over a
+character cursor.  It supports the XML subset the paper's documents use:
+
+* the ``<?xml … ?>`` prolog (ignored),
+* elements with prefixed names and single/double-quoted attributes,
+* character data with the five predefined entities plus ``&#NNN;`` /
+  ``&#xHHH;`` character references,
+* comments ``<!-- … -->`` and CDATA sections,
+* processing instructions (skipped).
+
+It does *not* implement DTDs — the paper never uses them and they would
+add no transactional behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import XmlParseError
+from repro.xmlstore.names import is_valid_name
+from repro.xmlstore.nodes import Document, Element, Text
+
+_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_WHITESPACE = " \t\r\n"
+
+
+class _Cursor:
+    """Character cursor with line/column tracking for error messages."""
+
+    __slots__ = ("text", "pos", "line", "column")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, length: int = 1) -> str:
+        return self.text[self.pos : self.pos + length]
+
+    def advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos : self.pos + count]
+        for ch in chunk:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return chunk
+
+    def expect(self, token: str) -> None:
+        if not self.text.startswith(token, self.pos):
+            raise XmlParseError(
+                f"expected {token!r}, found {self.peek(len(token))!r}",
+                self.line,
+                self.column,
+            )
+        self.advance(len(token))
+
+    def skip_whitespace(self) -> None:
+        while not self.at_end() and self.text[self.pos] in _WHITESPACE:
+            self.advance()
+
+    def take_until(self, token: str) -> str:
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise XmlParseError(
+                f"unterminated construct: expected {token!r}", self.line, self.column
+            )
+        chunk = self.text[self.pos : end]
+        self.advance(end - self.pos)
+        return chunk
+
+    def error(self, message: str) -> XmlParseError:
+        return XmlParseError(message, self.line, self.column)
+
+
+def _decode_entities(raw: str, cursor: _Cursor) -> str:
+    """Expand entity and character references in *raw*."""
+    if "&" not in raw:
+        return raw
+    out: List[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end < 0:
+            raise cursor.error("unterminated entity reference")
+        name = raw[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                out.append(chr(int(name[2:], 16)))
+            except ValueError:
+                raise cursor.error(f"bad character reference &{name};")
+        elif name.startswith("#"):
+            try:
+                out.append(chr(int(name[1:])))
+            except ValueError:
+                raise cursor.error(f"bad character reference &{name};")
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise cursor.error(f"unknown entity &{name};")
+        i = end + 1
+    return "".join(out)
+
+
+def _parse_name(cursor: _Cursor) -> str:
+    start = cursor.pos
+    while not cursor.at_end() and cursor.text[cursor.pos] not in " \t\r\n=/><'\"":
+        cursor.advance()
+    name = cursor.text[start : cursor.pos]
+    if not is_valid_name(name.replace(":", "_", 1) if ":" in name else name):
+        raise cursor.error(f"invalid XML name {name!r}")
+    return name
+
+
+def _parse_attributes(cursor: _Cursor) -> Dict[str, str]:
+    attributes: Dict[str, str] = {}
+    while True:
+        cursor.skip_whitespace()
+        nxt = cursor.peek()
+        if nxt in (">", "/", "?") or cursor.at_end():
+            return attributes
+        name = _parse_name(cursor)
+        cursor.skip_whitespace()
+        cursor.expect("=")
+        cursor.skip_whitespace()
+        quote = cursor.peek()
+        if quote not in ("'", '"'):
+            raise cursor.error("attribute value must be quoted")
+        cursor.advance()
+        value = cursor.take_until(quote)
+        cursor.advance()  # closing quote
+        if name in attributes:
+            raise cursor.error(f"duplicate attribute {name!r}")
+        attributes[name] = _decode_entities(value, cursor)
+
+
+def _skip_misc(cursor: _Cursor) -> None:
+    """Skip whitespace, comments, PIs and the prolog between elements."""
+    while True:
+        cursor.skip_whitespace()
+        if cursor.peek(4) == "<!--":
+            cursor.advance(4)
+            cursor.take_until("-->")
+            cursor.advance(3)
+        elif cursor.peek(2) == "<?":
+            cursor.advance(2)
+            cursor.take_until("?>")
+            cursor.advance(2)
+        elif cursor.peek(9) == "<!DOCTYPE":
+            # Tolerate (and skip) a simple internal-subset-free DOCTYPE.
+            cursor.take_until(">")
+            cursor.advance(1)
+        else:
+            return
+
+
+def _parse_element(cursor: _Cursor, document: Document, parent: Optional[Element]) -> Element:
+    cursor.expect("<")
+    name = _parse_name(cursor)
+    attributes = _parse_attributes(cursor)
+    if parent is None:
+        element = document.create_root(name)
+        element.attributes.update(attributes)
+    else:
+        element = parent.new_element(name, attributes)
+    cursor.skip_whitespace()
+    if cursor.peek(2) == "/>":
+        cursor.advance(2)
+        return element
+    cursor.expect(">")
+    _parse_content(cursor, document, element)
+    cursor.expect("</")
+    closing = _parse_name(cursor)
+    if closing != name:
+        raise cursor.error(f"mismatched closing tag </{closing}> for <{name}>")
+    cursor.skip_whitespace()
+    cursor.expect(">")
+    return element
+
+
+def _parse_content(cursor: _Cursor, document: Document, parent: Element) -> None:
+    buffer: List[str] = []
+
+    def flush_text() -> None:
+        if buffer:
+            text = _decode_entities("".join(buffer), cursor)
+            if text.strip():
+                parent.new_text(text.strip())
+            buffer.clear()
+
+    while True:
+        if cursor.at_end():
+            raise cursor.error(f"unexpected end of input inside <{parent.name.text}>")
+        if cursor.peek(2) == "</":
+            flush_text()
+            return
+        if cursor.peek(4) == "<!--":
+            flush_text()
+            cursor.advance(4)
+            cursor.take_until("-->")
+            cursor.advance(3)
+        elif cursor.peek(9) == "<![CDATA[":
+            # CDATA content is literal: no entity decoding.
+            flush_text()
+            cursor.advance(9)
+            raw = cursor.take_until("]]>")
+            cursor.advance(3)
+            if raw.strip():
+                parent.new_text(raw.strip())
+        elif cursor.peek(2) == "<?":
+            flush_text()
+            cursor.advance(2)
+            cursor.take_until("?>")
+            cursor.advance(2)
+        elif cursor.peek() == "<":
+            flush_text()
+            _parse_element(cursor, document, parent)
+        else:
+            buffer.append(cursor.advance())
+
+
+def parse_document(text: str, name: str = "") -> Document:
+    """Parse a complete XML document string into a :class:`Document`.
+
+    Raises :class:`~repro.errors.XmlParseError` with line/column
+    information on malformed input.
+    """
+    cursor = _Cursor(text)
+    document = Document(name)
+    _skip_misc(cursor)
+    if cursor.at_end():
+        raise cursor.error("document contains no root element")
+    _parse_element(cursor, document, None)
+    _skip_misc(cursor)
+    if not cursor.at_end():
+        raise cursor.error("content after the root element")
+    return document
+
+
+def parse_fragment(text: str, document: Document) -> List[Element]:
+    """Parse one or more sibling elements into detached nodes of *document*.
+
+    Used for ``<data>`` payloads of update actions and for service
+    results: the fragment's elements are owned by *document* but not yet
+    attached anywhere.
+    """
+    cursor = _Cursor(text)
+    holder = document.create_element("__fragment__")
+    _skip_misc(cursor)
+    while not cursor.at_end():
+        _parse_element(cursor, document, holder)
+        _skip_misc(cursor)
+    elements = holder.child_elements()
+    for element in list(holder.children):
+        element.detach()
+    return elements

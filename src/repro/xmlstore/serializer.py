@@ -1,0 +1,159 @@
+"""Serialization of node trees back to XML text.
+
+Two renderings are provided:
+
+* :func:`serialize` — compact, canonical-ish output: attributes sorted by
+  name, entities escaped, no insignificant whitespace.  Round-trips with
+  :func:`repro.xmlstore.parser.parse_document` (parse ∘ serialize is the
+  identity on the tree, a property the test suite checks with
+  hypothesis).
+* :func:`pretty` — indented human-readable output for examples and logs.
+
+``include_ids=True`` adds an internal ``repro:id`` attribute so node ids
+survive a serialize/parse round trip; the parser side is handled by
+:func:`strip_ids` / :func:`rebind_ids`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.xmlstore.nodes import Document, Element, Node, NodeId, Text
+
+#: Attribute used to persist node ids across serialization.
+ID_ATTRIBUTE = "repro:id"
+
+
+def escape_text(value: str) -> str:
+    """Escape character data."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value for double-quoted serialization."""
+    return escape_text(value).replace('"', "&quot;")
+
+
+def _open_tag(element: Element, include_ids: bool) -> str:
+    parts: List[str] = [element.name.text]
+    attributes = dict(element.attributes)
+    if include_ids:
+        attributes[ID_ATTRIBUTE] = repr(element.node_id)
+    for key in sorted(attributes):
+        parts.append(f'{key}="{escape_attribute(attributes[key])}"')
+    return " ".join(parts)
+
+
+def _serialize_node(node: Node, out: List[str], include_ids: bool) -> None:
+    if isinstance(node, Text):
+        out.append(escape_text(node.value))
+        return
+    assert isinstance(node, Element)
+    tag = _open_tag(node, include_ids)
+    if not node.children:
+        out.append(f"<{tag}/>")
+        return
+    out.append(f"<{tag}>")
+    for child in node.children:
+        _serialize_node(child, out, include_ids)
+    out.append(f"</{node.name.text}>")
+
+
+def serialize(
+    node: Union[Document, Node], include_ids: bool = False, declaration: bool = False
+) -> str:
+    """Serialize a document or subtree to compact XML text."""
+    if isinstance(node, Document):
+        if node.root is None:
+            return ""
+        node = node.root
+    out: List[str] = []
+    if declaration:
+        out.append('<?xml version="1.0" encoding="UTF-8"?>')
+    _serialize_node(node, out, include_ids)
+    return "".join(out)
+
+
+def _pretty_node(node: Node, out: List[str], depth: int, indent: str) -> None:
+    pad = indent * depth
+    if isinstance(node, Text):
+        out.append(f"{pad}{escape_text(node.value)}")
+        return
+    assert isinstance(node, Element)
+    tag = _open_tag(node, include_ids=False)
+    if not node.children:
+        out.append(f"{pad}<{tag}/>")
+        return
+    if len(node.children) == 1 and isinstance(node.children[0], Text):
+        text = escape_text(node.children[0].value)
+        out.append(f"{pad}<{tag}>{text}</{node.name.text}>")
+        return
+    out.append(f"{pad}<{tag}>")
+    for child in node.children:
+        _pretty_node(child, out, depth + 1, indent)
+    out.append(f"{pad}</{node.name.text}>")
+
+
+def pretty(node: Union[Document, Node], indent: str = "  ") -> str:
+    """Serialize with indentation for human consumption."""
+    if isinstance(node, Document):
+        if node.root is None:
+            return ""
+        node = node.root
+    out: List[str] = []
+    _pretty_node(node, out, 0, indent)
+    return "\n".join(out)
+
+
+def strip_ids(document: Document) -> None:
+    """Remove persisted ``repro:id`` attributes from every element."""
+    for element in document.iter_elements():
+        element.attributes.pop(ID_ATTRIBUTE, None)
+
+
+def rebind_ids(document: Document) -> int:
+    """Re-adopt persisted ``repro:id`` attributes as real node ids.
+
+    Returns the number of elements whose id was rebound.  Elements without
+    the attribute keep their freshly allocated ids.
+    """
+    rebound = 0
+    for element in list(document.iter_elements()):
+        raw = element.attributes.pop(ID_ATTRIBUTE, None)
+        if raw is None:
+            continue
+        document._adopt_id(element, NodeId.parse(raw))
+        rebound += 1
+    return rebound
+
+
+def rebind_element_ids(element: Element, document: Document) -> int:
+    """Re-adopt persisted ``repro:id`` attributes within one subtree.
+
+    Fragment-level counterpart of :func:`rebind_ids`, used when a
+    compensating insert restores a logged snapshot: the restored nodes
+    take back their original identities, so earlier compensations that
+    reference them by id still resolve.
+    """
+    rebound = 0
+    for el in list(element.iter_elements()):
+        raw = el.attributes.pop(ID_ATTRIBUTE, None)
+        if raw is None:
+            continue
+        document._adopt_id(el, NodeId.parse(raw))
+        rebound += 1
+    return rebound
+
+
+def canonical(node: Union[Document, Node]) -> str:
+    """Canonical text form used for structural equality in tests.
+
+    Identical trees (same names, attributes, text, order — ignoring node
+    ids) produce identical canonical strings.
+    """
+    return serialize(node, include_ids=False)
+
+
+def trees_equal(a: Union[Document, Node], b: Union[Document, Node]) -> bool:
+    """Structural equality of two documents/subtrees (ids ignored)."""
+    return canonical(a) == canonical(b)

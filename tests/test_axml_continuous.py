@@ -1,0 +1,127 @@
+"""Unit tests for continuous/periodic services (repro.axml.continuous)."""
+
+import pytest
+
+from repro.axml.continuous import ContinuousDriver, StreamSubscription
+from repro.axml.document import AXMLDocument
+from repro.axml.materialize import InvocationOutcome
+from repro.errors import ServiceFault
+from repro.sim.kernel import Clock, EventQueue
+
+DOC = (
+    "<Feed>"
+    "<axml:sc mode='replace' methodName='getQuote' frequency='1.0'>"
+    "<quote>100</quote></axml:sc>"
+    "<axml:sc mode='replace' methodName='getStatic'><s>1</s></axml:sc>"
+    "</Feed>"
+)
+
+
+def make_driver(resolver, on_tick=None):
+    doc = AXMLDocument.from_xml(DOC, name="Feed")
+    events = EventQueue(Clock())
+    driver = ContinuousDriver(doc, resolver, events, on_tick)
+    return doc, events, driver
+
+
+class TestContinuousDriver:
+    def test_only_frequency_calls_scheduled(self):
+        doc, events, driver = make_driver(
+            lambda c, p: InvocationOutcome(["<quote>1</quote>"])
+        )
+        assert driver.start() == 1
+
+    def test_periodic_ticks(self):
+        values = iter(range(101, 120))
+        doc, events, driver = make_driver(
+            lambda c, p: InvocationOutcome([f"<quote>{next(values)}</quote>"])
+        )
+        driver.start()
+        events.run_until(3.5)
+        assert driver.tick_count("getQuote") == 3
+        quote = doc.service_calls()[0].result_nodes()[0]
+        assert quote.text_content() == "103"
+
+    def test_tick_records_changes(self):
+        doc, events, driver = make_driver(
+            lambda c, p: InvocationOutcome(["<quote>1</quote>"])
+        )
+        driver.start()
+        events.run_until(1.0)
+        assert driver.history[0].succeeded
+        assert driver.history[0].records == 2  # replace = delete + insert
+
+    def test_stop(self):
+        doc, events, driver = make_driver(
+            lambda c, p: InvocationOutcome(["<quote>1</quote>"])
+        )
+        driver.start()
+        events.run_until(1.0)
+        driver.stop()
+        events.run_until(10.0)
+        assert driver.tick_count() == 1
+
+    def test_failed_tick_recorded_and_retried(self):
+        calls = {"n": 0}
+
+        def flaky(call, params):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ServiceFault("Unavailable")
+            return InvocationOutcome(["<quote>1</quote>"])
+
+        doc, events, driver = make_driver(flaky)
+        driver.start()
+        events.run_until(2.5)
+        assert [r.succeeded for r in driver.history] == [False, True]
+
+    def test_deleted_call_lapses(self):
+        doc, events, driver = make_driver(
+            lambda c, p: InvocationOutcome(["<quote>1</quote>"])
+        )
+        driver.start()
+        doc.service_calls()[0].element.detach()
+        events.run_until(5.0)
+        assert driver.tick_count() == 0
+
+    def test_on_tick_callback(self):
+        seen = []
+        doc, events, driver = make_driver(
+            lambda c, p: InvocationOutcome(["<quote>1</quote>"]), on_tick=seen.append
+        )
+        driver.start()
+        events.run_until(2.0)
+        assert len(seen) == 2
+        assert seen[0].time == pytest.approx(1.0)
+
+
+class TestStreamSubscription:
+    def test_delivery_resets_silence(self):
+        sub = StreamSubscription("P", "C", interval=1.0)
+        sub.deliver(1.0)
+        assert not sub.check(1.5)
+        sub.deliver(2.0)
+        assert not sub.check(2.9)
+
+    def test_silence_detected_after_grace(self):
+        fired = []
+        sub = StreamSubscription("P", "C", interval=1.0, grace=0.5,
+                                 on_silence=fired.append)
+        sub.deliver(1.0)
+        assert not sub.check(2.4)  # within interval*(1+grace)
+        assert sub.check(2.6)
+        assert fired == ["P"]
+
+    def test_callback_fires_once(self):
+        fired = []
+        sub = StreamSubscription("P", "C", interval=1.0, on_silence=fired.append)
+        sub.deliver(0.0)
+        sub.check(10.0)
+        sub.check(20.0)
+        assert fired == ["P"]
+
+    def test_counts(self):
+        sub = StreamSubscription("P", "C", interval=1.0)
+        for t in (1.0, 2.0, 3.0):
+            sub.deliver(t)
+        assert sub.delivered == 3

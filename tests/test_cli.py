@@ -1,0 +1,69 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_atplist_defaults(self):
+        args = build_parser().parse_args(["atplist"])
+        assert args.query == "A"
+        assert not args.abort
+
+    def test_fig1_options(self):
+        args = build_parser().parse_args(
+            ["fig1", "--fault", "AP5:S5", "--handler", "AP3:S5", "--no-chaining"]
+        )
+        assert args.fault == "AP5:S5"
+        assert args.no_chaining
+
+
+class TestCommands:
+    def test_atplist_commit(self, capsys):
+        assert main(["atplist", "--query", "A"]) == 0
+        out = capsys.readouterr().out
+        assert "getGrandSlamsWonbyYear" in out
+        assert "2005" in out
+
+    def test_atplist_abort(self, capsys):
+        assert main(["atplist", "--query", "B", "--abort"]) == 0
+        out = capsys.readouterr().out
+        assert "restored by dynamic compensation" in out
+        assert "<points>475</points>" in out
+
+    def test_fig1_happy(self, capsys):
+        assert main(["fig1"]) == 0
+        assert 'by="AP6"' in capsys.readouterr().out
+
+    def test_fig1_fault_aborts(self, capsys):
+        assert main(["fig1", "--fault", "AP5:S5"]) == 1
+        out = capsys.readouterr().out
+        assert "aborted" in out
+        assert "<entry" not in out
+
+    def test_fig1_handler_recovers(self, capsys):
+        assert main(["fig1", "--fault", "AP5:S5", "--handler", "AP3:S5"]) == 0
+        assert "recovered/committed" in capsys.readouterr().out
+
+    def test_fig1_bad_fault_spec(self):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--fault", "nonsense"])
+
+    @pytest.mark.parametrize("case", ["b", "c", "d"])
+    def test_fig2_cases(self, capsys, case):
+        assert main(["fig2", "--case", case]) == 0
+        assert f"case ({case})" in capsys.readouterr().out
+
+    def test_fig2_naive(self, capsys):
+        assert main(["fig2", "--case", "b", "--no-chaining"]) == 0
+        assert "[naive]" in capsys.readouterr().out
+
+    def test_spheres(self, capsys):
+        assert main(["spheres", "--super-fraction", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "guaranteed (plain):                    1.000" in out

@@ -1,0 +1,92 @@
+"""Property-based tests for the optimistic validator (repro.txn.occ)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.txn.occ import OptimisticValidator, ValidationConflict
+from repro.xmlstore.nodes import NodeId
+
+_node_ids = st.integers(0, 20).map(lambda n: NodeId(1, n))
+_id_sets = st.frozensets(_node_ids, max_size=8)
+
+
+@given(
+    sets=st.lists(
+        st.tuples(_id_sets, _id_sets), min_size=2, max_size=8
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_concurrent_commits_are_conflict_serializable(sets):
+    """All transactions begin before any commits (maximal overlap).
+
+    Then the committed set must be conflict-free in commit order: for
+    any two committed transactions Ti (earlier) and Tj (later),
+    writes(Ti) ∩ reads(Tj) must be empty — precisely what backward
+    validation promises.
+    """
+    validator = OptimisticValidator()
+    footprints = {}
+    for index, (reads, writes) in enumerate(sets):
+        txn_id = f"T{index}"
+        validator.begin(txn_id)
+        validator.track_reads(txn_id, reads)
+        validator.track_writes(txn_id, writes)
+        footprints[txn_id] = (set(reads) | set(writes), set(writes))
+    committed = []
+    for index in range(len(sets)):
+        txn_id = f"T{index}"
+        try:
+            validator.validate_and_commit(txn_id)
+            committed.append(txn_id)
+        except ValidationConflict:
+            pass
+    for i, earlier in enumerate(committed):
+        for later in committed[i + 1 :]:
+            later_reads = footprints[later][0]
+            earlier_writes = footprints[earlier][1]
+            assert not (later_reads & earlier_writes), (
+                f"{later} read what {earlier} wrote, yet both committed"
+            )
+
+
+@given(
+    sets=st.lists(st.tuples(_id_sets, _id_sets), min_size=1, max_size=8)
+)
+@settings(max_examples=40, deadline=None)
+def test_serial_execution_never_conflicts(sets):
+    """Transactions that run one-after-another always commit: backward
+    validation only looks at commits after the start tick."""
+    validator = OptimisticValidator()
+    for index, (reads, writes) in enumerate(sets):
+        txn_id = f"T{index}"
+        validator.begin(txn_id)
+        validator.track_reads(txn_id, reads)
+        validator.track_writes(txn_id, writes)
+        validator.validate_and_commit(txn_id)  # must never raise
+    assert validator.conflicts == 0
+
+
+@given(
+    reads=_id_sets, writes=_id_sets, other_writes=_id_sets
+)
+@settings(max_examples=60, deadline=None)
+def test_pairwise_conflict_iff_overlap(reads, writes, other_writes):
+    """Two maximally-overlapping transactions: the second committer
+    aborts exactly when its reads (incl. its writes) overlap the first
+    committer's writes."""
+    validator = OptimisticValidator()
+    validator.begin("first")
+    validator.begin("second")
+    validator.track_writes("first", other_writes)
+    validator.track_reads("second", reads)
+    validator.track_writes("second", writes)
+    validator.validate_and_commit("first")
+    expected_conflict = bool((set(reads) | set(writes)) & set(other_writes))
+    if expected_conflict:
+        try:
+            validator.validate_and_commit("second")
+            raised = False
+        except ValidationConflict:
+            raised = True
+        assert raised
+    else:
+        validator.validate_and_commit("second")

@@ -1,0 +1,120 @@
+"""Unit tests for active-peer chains (repro.p2p.chain)."""
+
+import pytest
+
+from repro.errors import P2PError
+from repro.p2p.chain import PeerChain
+
+#: The paper's §3.3 example chain.
+PAPER_CHAIN = "[AP1* -> AP2 -> [AP3 -> AP6] || [AP4 -> AP5]]"
+
+
+def paper_chain() -> PeerChain:
+    chain = PeerChain("AP1", root_super=True)
+    chain.add_invocation("AP1", "AP2")
+    chain.add_invocation("AP2", "AP3")
+    chain.add_invocation("AP2", "AP4")
+    chain.add_invocation("AP3", "AP6")
+    chain.add_invocation("AP4", "AP5")
+    return chain
+
+
+class TestConstruction:
+    def test_paper_notation(self):
+        assert paper_chain().to_text() == PAPER_CHAIN
+
+    def test_single_chain_inline(self):
+        chain = PeerChain("A")
+        chain.add_invocation("A", "B")
+        chain.add_invocation("B", "C")
+        assert chain.to_text() == "[A -> B -> C]"
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(P2PError):
+            PeerChain("A").add_invocation("ghost", "B")
+
+    def test_peers(self):
+        assert paper_chain().peers() == ["AP1", "AP2", "AP3", "AP6", "AP4", "AP5"]
+
+
+class TestNavigation:
+    def test_parent_of(self):
+        chain = paper_chain()
+        assert chain.parent_of("AP6") == "AP3"
+        assert chain.parent_of("AP2") == "AP1"
+        assert chain.parent_of("AP1") is None
+        assert chain.parent_of("ghost") is None
+
+    def test_children_of(self):
+        chain = paper_chain()
+        assert chain.children_of("AP2") == ["AP3", "AP4"]
+        assert chain.children_of("AP6") == []
+
+    def test_siblings_of(self):
+        chain = paper_chain()
+        assert chain.siblings_of("AP3") == ["AP4"]
+        assert chain.siblings_of("AP4") == ["AP3"]
+        assert chain.siblings_of("AP1") == []
+
+    def test_descendants_of(self):
+        chain = paper_chain()
+        assert set(chain.descendants_of("AP2")) == {"AP3", "AP6", "AP4", "AP5"}
+        assert chain.descendants_of("AP3") == ["AP6"]
+
+    def test_ancestors_nearest_first(self):
+        chain = paper_chain()
+        assert chain.ancestors_of("AP6") == ["AP3", "AP2", "AP1"]
+
+    def test_closest_super_peer(self):
+        chain = paper_chain()
+        assert chain.closest_super_peer("AP6") == "AP1"
+        assert chain.closest_super_peer("AP2") == "AP1"
+        assert chain.closest_super_peer("AP1") is None
+
+    def test_contains(self):
+        chain = paper_chain()
+        assert chain.contains("AP5")
+        assert not chain.contains("APX")
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        chain = paper_chain()
+        restored = PeerChain.from_text(chain.to_text())
+        assert restored.to_text() == chain.to_text()
+        assert restored.parent_of("AP6") == "AP3"
+        assert restored.find("AP1").super_peer
+
+    def test_roundtrip_single(self):
+        assert PeerChain.from_text("[A]").to_text() == "[A]"
+
+    def test_super_flag_roundtrip(self):
+        chain = PeerChain("A", root_super=True)
+        chain.add_invocation("A", "B", child_super=True)
+        restored = PeerChain.from_text(chain.to_text())
+        assert restored.find("B").super_peer
+
+    def test_copy_is_independent(self):
+        chain = paper_chain()
+        copy = chain.copy()
+        copy.add_invocation("AP6", "AP9")
+        assert not chain.contains("AP9")
+        assert copy.contains("AP9")
+
+    @pytest.mark.parametrize(
+        "bad", ["", "A", "[A -> ]", "[A -> [B] ||]", "[]", "[A] trailing"]
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(P2PError):
+            PeerChain.from_text(bad)
+
+    def test_deep_parallel_roundtrip(self):
+        chain = PeerChain("R")
+        chain.add_invocation("R", "A")
+        chain.add_invocation("R", "B")
+        chain.add_invocation("A", "A1")
+        chain.add_invocation("A", "A2")
+        chain.add_invocation("B", "B1")
+        restored = PeerChain.from_text(chain.to_text())
+        assert restored.children_of("A") == ["A1", "A2"]
+        assert restored.children_of("B") == ["B1"]

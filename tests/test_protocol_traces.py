@@ -1,0 +1,126 @@
+"""Exact protocol-trace regression tests.
+
+These pin the paper's prose walk-throughs to message sequences: if a
+refactor reorders or drops a protocol message, these fail with the full
+transcript.
+"""
+
+import pytest
+
+from repro.sim.scenarios import build_fig1, build_fig2, run_root_transaction
+from repro.sim.trace import TraceRecorder
+from repro.txn.recovery import FaultPolicy
+
+
+class TestFig1HappyTrace:
+    def test_invocation_order_depth_first(self):
+        scenario = build_fig1()
+        recorder = TraceRecorder(scenario.network)
+        txn, error = run_root_transaction(scenario)
+        assert error is None
+        invokes = recorder.shorthand(kinds=("invoke",))
+        assert invokes == [
+            "invoke:AP1->AP2:S2",
+            "invoke:AP1->AP3:S3",
+            "invoke:AP3->AP4:S4",
+            "invoke:AP3->AP5:S5",
+            "invoke:AP5->AP6:S6",
+        ]
+
+    def test_results_return_inside_out(self):
+        scenario = build_fig1()
+        recorder = TraceRecorder(scenario.network)
+        run_root_transaction(scenario)
+        results = recorder.shorthand(kinds=("result",))
+        assert results == [
+            "result:AP2->AP1:S2",
+            "result:AP4->AP3:S4",
+            "result:AP6->AP5:S6",
+            "result:AP5->AP3:S5",
+            "result:AP3->AP1:S3",
+        ]
+
+    def test_commit_notifies_every_participant(self):
+        scenario = build_fig1()
+        recorder = TraceRecorder(scenario.network)
+        txn, _ = run_root_transaction(scenario)
+        scenario.peer("AP1").commit(txn.txn_id)
+        commits = [
+            line for line in recorder.shorthand(kinds=("notify",))
+            if "CommitMessage" in line
+        ]
+        assert len(commits) == 5  # AP2..AP6
+
+
+class TestFig1AbortTrace:
+    def test_paper_walkthrough_messages(self):
+        """§3.2 steps 1–4 as an exact message sequence."""
+        scenario = build_fig1()
+        recorder = TraceRecorder(scenario.network)
+        scenario.injector.fault_service("AP5", "S5", "Crash", point="after_execute")
+        txn, error = run_root_transaction(scenario)
+        assert error is not None
+        aborts = [
+            line for line in recorder.shorthand(kinds=("notify",))
+            if "AbortMessage" in line
+        ]
+        # Step 1: AP5 -> AP6 (peer whose service it had invoked).
+        # Step 4 at AP3: -> AP4; then at AP1: -> AP2.
+        assert aborts == [
+            f"notify:AP5->AP6:AbortMessage:{txn.txn_id}",
+            f"notify:AP3->AP4:AbortMessage:{txn.txn_id}",
+            f"notify:AP1->AP2:AbortMessage:{txn.txn_id}",
+        ]
+        faults = recorder.shorthand(kinds=("fault",))
+        # The fault travels AP5 -> AP3 -> AP1 (the rpc fault propagation
+        # is visible at each unwinding hop).
+        assert faults == [
+            "fault:AP5->AP3:S5:Crash",
+            "fault:AP3->AP1:S3:Crash",
+        ]
+
+    def test_forward_recovery_trace(self):
+        scenario = build_fig1()
+        recorder = TraceRecorder(scenario.network)
+        scenario.injector.fault_service("AP5", "S5", "Crash", times=1, point="after_execute")
+        scenario.peer("AP3").set_fault_policy(
+            "S5", [FaultPolicy(fault_names={"Crash"}, retry_times=1)]
+        )
+        txn, error = run_root_transaction(scenario)
+        assert error is None
+        invokes = recorder.shorthand(kinds=("invoke",))
+        # S5 invoked twice (original + retry); the retry re-runs S6.
+        assert invokes.count("invoke:AP3->AP5:S5") == 2
+        assert invokes.count("invoke:AP5->AP6:S6") == 2
+        # The abort of the failed first attempt reached AP6 exactly once.
+        aborts = [l for l in recorder.shorthand(kinds=("notify",)) if "Abort" in l]
+        assert aborts == [f"notify:AP5->AP6:AbortMessage:{txn.txn_id}"]
+
+
+class TestFig2DisconnectTrace:
+    def test_case_b_redirect_sequence(self):
+        scenario = build_fig2()
+        recorder = TraceRecorder(scenario.network)
+        scenario.injector.disconnect_peer_during("AP3", "AP6", "S6", "after_local_work")
+        txn, _ = run_root_transaction(scenario)
+        notifies = recorder.shorthand(kinds=("notify",))
+        assert f"notify:AP6->AP2:DisconnectNotice:{txn.txn_id}" in notifies
+        assert f"notify:AP6->AP2:RedirectedResult:{txn.txn_id}" in notifies
+        # The notice precedes the redirected payload.
+        assert notifies.index(
+            f"notify:AP6->AP2:DisconnectNotice:{txn.txn_id}"
+        ) < notifies.index(f"notify:AP6->AP2:RedirectedResult:{txn.txn_id}")
+
+    def test_detach_restores_network(self):
+        scenario = build_fig2()
+        recorder = TraceRecorder(scenario.network)
+        recorder.detach()
+        run_root_transaction(scenario)
+        assert len(recorder) == 0
+
+    def test_transcript_renders(self):
+        scenario = build_fig1()
+        recorder = TraceRecorder(scenario.network)
+        run_root_transaction(scenario)
+        transcript = recorder.transcript()
+        assert "AP1" in transcript and "invoke(S2)" in transcript

@@ -1,0 +1,28 @@
+"""The README quickstart snippet and the package doctest must keep working."""
+
+import doctest
+
+import repro
+
+
+def test_package_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+def test_readme_quickstart_snippet():
+    from repro import AXMLPeer, SimNetwork, AXMLDocument
+
+    network = SimNetwork()
+    peer = AXMLPeer("AP1", network)
+    doc = peer.host_document(AXMLDocument.from_xml(
+        "<Shop><item><price>45</price></item></Shop>", name="Shop"))
+
+    txn = peer.begin_transaction()
+    peer.submit(txn.txn_id,
+        '<action type="replace"><data><price>39</price></data>'
+        '<location>Select i/price from i in Shop//item;</location></action>')
+
+    peer.abort(txn.txn_id)
+    assert "45" in doc.to_xml()

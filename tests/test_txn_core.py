@@ -1,0 +1,328 @@
+"""Unit tests for transactions, WAL, operations, manager and spheres."""
+
+import pytest
+
+from repro.axml.document import AXMLDocument
+from repro.errors import TransactionError, TransactionStateError
+from repro.query.parser import parse_action
+from repro.txn.manager import TransactionManager
+from repro.txn.operations import TransactionalOperation, build_compensation
+from repro.txn.spheres import analyze_sphere, sphere_guarantee_rate
+from repro.txn.transaction import Transaction, TransactionContext, TransactionState
+from repro.txn.wal import OperationLog
+from repro.xmlstore.serializer import canonical
+
+
+@pytest.fixture
+def axml_doc():
+    return AXMLDocument.from_xml(
+        "<Shop><item id='1'><price>10</price></item>"
+        "<item id='2'><price>20</price></item></Shop>",
+        name="Shop",
+    )
+
+
+class TestTransaction:
+    def test_begin_unique_ids(self):
+        t1, t2 = Transaction.begin("AP1"), Transaction.begin("AP1")
+        assert t1.txn_id != t2.txn_id
+        assert t1.origin_peer == "AP1"
+
+    def test_context_states(self):
+        ctx = TransactionContext(Transaction.begin("AP1"), "AP1")
+        assert ctx.state is TransactionState.ACTIVE
+        assert ctx.is_origin
+        ctx.transition(TransactionState.COMPENSATING)
+        ctx.transition(TransactionState.ABORTED)
+        assert ctx.is_finished
+
+    def test_illegal_transitions(self):
+        ctx = TransactionContext(Transaction.begin("AP1"), "AP1")
+        ctx.transition(TransactionState.COMMITTED)
+        with pytest.raises(TransactionStateError):
+            ctx.transition(TransactionState.ABORTED)
+
+    def test_require_active(self):
+        ctx = TransactionContext(Transaction.begin("AP1"), "AP1")
+        ctx.require_active()
+        ctx.transition(TransactionState.ABORTED)
+        with pytest.raises(TransactionStateError):
+            ctx.require_active()
+
+    def test_participant_context(self):
+        ctx = TransactionContext(
+            Transaction.begin("AP1"), "AP3", parent_peer="AP1", service_name="S3"
+        )
+        assert not ctx.is_origin
+        assert ctx.parent_peer == "AP1"
+
+    def test_invocation_edges(self):
+        ctx = TransactionContext(Transaction.begin("AP1"), "AP1")
+        ctx.record_invocation("AP2", "S2")
+        ctx.record_invocation("AP3", "S3")
+        ctx.record_invocation("AP2", "S2b")
+        assert ctx.invoked_peers() == ["AP2", "AP3"]
+
+
+class TestOperationLog:
+    def test_append_and_read(self):
+        log = OperationLog("AP1")
+        log.append("T1", "update", "D", "<action/>")
+        log.append("T2", "update", "D", "<action/>")
+        log.append("T1", "query", "D", "<action/>")
+        assert len(log) == 3
+        assert [e.seq for e in log.entries_for("T1")] == [1, 3]
+        assert [e.seq for e in log.undo_entries("T1")] == [3, 1]
+
+    def test_truncate(self):
+        log = OperationLog()
+        log.append("T1", "update", "D", "<a/>")
+        log.append("T2", "update", "D", "<a/>")
+        assert log.truncate("T1") == 1
+        assert len(log) == 1
+        assert log.entries_for("T1") == []
+
+    def test_documents_touched_requires_records(self, axml_doc):
+        from repro.query.update import apply_action
+
+        log = OperationLog()
+        result = apply_action(
+            axml_doc.document,
+            parse_action(
+                '<action type="delete"><location>Select i/price from i in '
+                "Shop//item;</location></action>"
+            ),
+        )
+        log.append("T1", "update", "Shop", "<a/>", records=result.records)
+        log.append("T1", "query", "Other", "<a/>")  # no records
+        assert log.documents_touched("T1") == ["Shop"]
+
+    def test_approximate_bytes_grows(self, axml_doc):
+        from repro.query.update import apply_action
+
+        log = OperationLog()
+        before = log.approximate_bytes()
+        result = apply_action(
+            axml_doc.document,
+            parse_action(
+                '<action type="delete"><location>Select i/price from i in '
+                "Shop//item;</location></action>"
+            ),
+        )
+        log.append("T1", "update", "Shop", "<a/>", records=result.records)
+        assert log.approximate_bytes() > before
+
+    def test_dump(self):
+        log = OperationLog()
+        log.append("T1", "update", "D", "<a/>", timestamp=1.5)
+        assert "T1" in log.dump()
+
+
+class TestTransactionalOperation:
+    def test_update_logged(self, axml_doc):
+        log = OperationLog()
+        op = TransactionalOperation(
+            "T1",
+            parse_action(
+                '<action type="insert"><data><tag/></data><location>Select i from '
+                "i in Shop//item;</location></action>"
+            ),
+        )
+        outcome = op.execute(axml_doc, None, log)
+        assert outcome.log_entry is not None
+        assert len(outcome.change_records()) == 2  # one insert per item
+        assert log.entries_for("T1")
+
+    def test_query_without_resolver_logs_no_records(self, axml_doc):
+        log = OperationLog()
+        op = TransactionalOperation(
+            "T1",
+            parse_action(
+                '<action type="query"><location>Select i/price from i in '
+                "Shop//item;</location></action>"
+            ),
+        )
+        outcome = op.execute(axml_doc, None, log)
+        assert outcome.query_result.texts() == ["10", "20"]
+        assert outcome.change_records() == []
+
+    def test_bad_evaluation_mode(self):
+        with pytest.raises(ValueError):
+            TransactionalOperation("T1", parse_action(
+                '<action type="query"><location>Select i from i in S//x;'
+                "</location></action>"
+            ), evaluation="psychic")
+
+    def test_build_compensation_per_document(self, axml_doc):
+        log = OperationLog()
+        op = TransactionalOperation(
+            "T1",
+            parse_action(
+                '<action type="delete"><location>Select i/price from i in '
+                "Shop//item;</location></action>"
+            ),
+        )
+        op.execute(axml_doc, None, log)
+        plans = build_compensation(log, "T1")
+        assert len(plans) == 1
+        assert plans[0].document_name == "Shop"
+        assert len(plans[0]) == 2
+
+
+class TestTransactionManager:
+    def _manager(self, axml_doc):
+        return TransactionManager("AP1", lambda name: axml_doc)
+
+    def test_begin_and_context(self, axml_doc):
+        manager = self._manager(axml_doc)
+        txn = Transaction.begin("AP1")
+        ctx = manager.begin(txn)
+        assert manager.context(txn.txn_id) is ctx
+        assert manager.begin(txn) is ctx  # idempotent
+
+    def test_unknown_context(self, axml_doc):
+        with pytest.raises(TransactionError):
+            self._manager(axml_doc).context("T999")
+
+    def test_execute_commit_truncates(self, axml_doc):
+        manager = self._manager(axml_doc)
+        txn = Transaction.begin("AP1")
+        manager.begin(txn)
+        manager.execute(
+            txn.txn_id,
+            parse_action(
+                '<action type="insert"><data><tag/></data><location>Select i from '
+                "i in Shop//item;</location></action>"
+            ),
+            "Shop",
+        )
+        assert len(manager.log.entries_for(txn.txn_id)) == 1
+        manager.commit_local(txn.txn_id)
+        assert manager.log.entries_for(txn.txn_id) == []
+        manager.commit_local(txn.txn_id)  # idempotent
+
+    def test_abort_compensates(self, axml_doc):
+        manager = self._manager(axml_doc)
+        pre = canonical(axml_doc.document)
+        txn = Transaction.begin("AP1")
+        manager.begin(txn)
+        manager.execute(
+            txn.txn_id,
+            parse_action(
+                '<action type="replace"><data><price>999</price></data>'
+                "<location>Select i/price from i in Shop//item;</location></action>"
+            ),
+            "Shop",
+        )
+        assert "999" in canonical(axml_doc.document)
+        executed = manager.abort_local(txn.txn_id)
+        assert executed > 0
+        assert canonical(axml_doc.document) == pre
+        assert manager.abort_local(txn.txn_id) == 0  # idempotent
+
+    def test_fresh_context_for_retried_participant(self, axml_doc):
+        manager = self._manager(axml_doc)
+        txn = Transaction.begin("AP9")
+        manager.begin(txn, parent_peer="AP9", service_name="S1")
+        manager.abort_local(txn.txn_id)
+        fresh = manager.begin(txn, parent_peer="AP9", service_name="S1")
+        assert fresh.state is TransactionState.ACTIVE
+
+    def test_origin_context_not_replaced(self, axml_doc):
+        manager = self._manager(axml_doc)
+        txn = Transaction.begin("AP1")
+        manager.begin(txn)
+        manager.abort_local(txn.txn_id)
+        ctx = manager.begin(txn)
+        assert ctx.is_finished  # origin abort is final
+
+    def test_peer_independent_roundtrip(self, axml_doc):
+        manager = self._manager(axml_doc)
+        pre = canonical(axml_doc.document)
+        txn = Transaction.begin("AP1")
+        manager.begin(txn)
+        outcome = manager.execute(
+            txn.txn_id,
+            parse_action(
+                '<action type="delete"><location>Select i/price from i in '
+                "Shop//item;</location></action>"
+            ),
+            "Shop",
+        )
+        plan_xml = manager.build_compensation_xml(
+            txn.txn_id, outcome.change_records(), "Shop"
+        )
+        # Another manager (same document provider) executes it blindly.
+        other = TransactionManager("AP2", lambda name: axml_doc)
+        executed = other.apply_compensation_xml(plan_xml)
+        assert executed == 2
+        assert canonical(axml_doc.document) == pre
+
+    def test_mark_aborted_without_compensation(self, axml_doc):
+        manager = self._manager(axml_doc)
+        txn = Transaction.begin("AP1")
+        manager.begin(txn)
+        manager.execute(
+            txn.txn_id,
+            parse_action(
+                '<action type="insert"><data><tag/></data><location>Select i from '
+                "i in Shop//item;</location></action>"
+            ),
+            "Shop",
+        )
+        manager.mark_aborted_without_compensation(txn.txn_id)
+        # The garbage insert is still there: the dead-peer hazard.
+        assert "tag" in canonical(axml_doc.document)
+
+    def test_active_transactions(self, axml_doc):
+        manager = self._manager(axml_doc)
+        t1, t2 = Transaction.begin("AP1"), Transaction.begin("AP1")
+        manager.begin(t1)
+        manager.begin(t2)
+        manager.commit_local(t2.txn_id)
+        assert manager.active_transactions() == [t1.txn_id]
+
+
+class TestSpheres:
+    def test_all_super_guaranteed(self):
+        analysis = analyze_sphere(["A", "B"], super_peers=["A", "B"])
+        assert analysis.guaranteed
+        assert "guaranteed" in analysis.explain()
+
+    def test_ordinary_peer_at_risk(self):
+        analysis = analyze_sphere(["A", "B"], super_peers=["A"])
+        assert not analysis.guaranteed
+        assert analysis.at_risk_peers == frozenset({"B"})
+        assert "B" in analysis.explain()
+
+    def test_replica_plus_peer_independent_is_safe(self):
+        analysis = analyze_sphere(
+            ["A", "B"],
+            super_peers=["A"],
+            replicas_on_super_peers={"B": True},
+            peer_independent=True,
+        )
+        assert analysis.guaranteed
+
+    def test_replica_without_peer_independent_not_safe(self):
+        analysis = analyze_sphere(
+            ["A", "B"],
+            super_peers=["A"],
+            replicas_on_super_peers={"B": True},
+            peer_independent=False,
+        )
+        assert not analysis.guaranteed
+
+    def test_only_modifying_peers_matter(self):
+        analysis = analyze_sphere(
+            ["A", "B", "C"], super_peers=["A"], modifying_peers=["A"]
+        )
+        assert analysis.guaranteed
+
+    def test_guarantee_rate(self):
+        transactions = [["A"], ["A", "B"], ["B"]]
+        rate = sphere_guarantee_rate(transactions, super_peers=["A"])
+        assert rate == pytest.approx(1 / 3)
+
+    def test_guarantee_rate_empty(self):
+        assert sphere_guarantee_rate([], super_peers=[]) == 1.0

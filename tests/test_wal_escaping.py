@@ -1,0 +1,85 @@
+"""WAL persistence with hostile content: escaping round-trips."""
+
+import pytest
+
+from repro.axml.document import AXMLDocument
+from repro.query.parser import parse_action
+from repro.txn.operations import TransactionalOperation, build_compensation
+from repro.txn.wal import OperationLog
+from repro.xmlstore.serializer import canonical
+
+
+def test_snapshot_with_entities_roundtrips():
+    axml = AXMLDocument.from_xml(
+        '<Shop><item note="a &amp; b &lt; c"><name>Q&amp;A &lt;guide&gt;</name>'
+        "</item></Shop>",
+        name="Shop",
+    )
+    pre = canonical(axml.document)
+    log = OperationLog("P")
+    TransactionalOperation(
+        "T1",
+        parse_action(
+            '<action type="delete"><location>Select i/name from i in '
+            "Shop//item;</location></action>"
+        ),
+    ).execute(axml, None, log)
+    restored = OperationLog.from_text(log.to_text())
+    snapshot = restored.entries_for("T1")[0].records[0].snapshot_xml
+    assert "&amp;" in snapshot  # still-escaped content inside the snapshot
+    for plan in build_compensation(restored, "T1"):
+        plan.execute(axml.document)
+    assert canonical(axml.document) == pre
+    name = axml.document.root.child_elements()[0].first_child("name")
+    assert name.text_content() == "Q&A <guide>"
+
+
+def test_action_xml_with_quotes_roundtrips():
+    axml = AXMLDocument.from_xml("<D><x q='say \"hi\"'/></D>", name="D")
+    log = OperationLog("P")
+    TransactionalOperation(
+        "T1",
+        parse_action(
+            '<action type="insert"><data><y note="it&apos;s"/></data>'
+            "<location>Select d from d in D;</location></action>"
+        ),
+    ).execute(axml, None, log)
+    restored = OperationLog.from_text(log.to_text())
+    entry = restored.entries_for("T1")[0]
+    assert entry.action_xml == log.entries_for("T1")[0].action_xml
+
+
+def test_replace_record_with_multiple_inserts_roundtrips():
+    axml = AXMLDocument.from_xml("<D><item><v>1</v></item></D>", name="D")
+    log = OperationLog("P")
+    TransactionalOperation(
+        "T1",
+        parse_action(
+            '<action type="replace"><data><v>2</v></data><data><w>3</w></data>'
+            "<location>Select i/v from i in D//item;</location></action>"
+        ),
+    ).execute(axml, None, log)
+    restored = OperationLog.from_text(log.to_text())
+    record = restored.entries_for("T1")[0].records[0]
+    assert record.kind == "replace"
+    assert len(record.inserted) == 2
+    assert "1" in record.deleted.snapshot_xml
+
+
+def test_deep_subtree_snapshot_roundtrips():
+    axml = AXMLDocument.from_xml(
+        "<D><tree><a><b><c attr='x'>deep &amp; nested</c></b></a></tree></D>",
+        name="D",
+    )
+    pre = canonical(axml.document)
+    log = OperationLog("P")
+    TransactionalOperation(
+        "T1",
+        parse_action(
+            '<action type="delete"><location>Select d/tree from d in D;'
+            "</location></action>"
+        ),
+    ).execute(axml, None, log)
+    for plan in build_compensation(OperationLog.from_text(log.to_text()), "T1"):
+        plan.execute(axml.document)
+    assert canonical(axml.document) == pre

@@ -1,0 +1,101 @@
+"""Unit tests for the structural differ (repro.xmlstore.diff)."""
+
+from repro.xmlstore.diff import diff_documents
+from repro.xmlstore.parser import parse_document
+
+
+def _doc():
+    return parse_document('<r><a k="1">x</a><b><c/></b></r>')
+
+
+class TestDiffIdentity:
+    def test_identical_snapshot(self):
+        doc = _doc()
+        snap = doc.clone(preserve_ids=True)
+        assert diff_documents(snap, doc).is_empty()
+
+    def test_detach_and_restore(self):
+        doc = _doc()
+        snap = doc.clone(preserve_ids=True)
+        a = doc.root.first_child("a")
+        rec = a.detach()
+        doc.get_node(rec.parent_id).insert_at(rec.index, rec.node)
+        assert diff_documents(snap, doc).is_empty()
+
+
+class TestDiffKinds:
+    def test_delete(self):
+        doc = _doc()
+        snap = doc.clone(preserve_ids=True)
+        doc.root.first_child("a").detach()
+        script = diff_documents(snap, doc)
+        assert script.kinds() == ["delete"]
+
+    def test_delete_reports_subtree_root_only(self):
+        doc = _doc()
+        snap = doc.clone(preserve_ids=True)
+        doc.root.first_child("b").detach()  # subtree with <c/>
+        script = diff_documents(snap, doc)
+        assert len(script.by_kind("delete")) == 1
+
+    def test_insert(self):
+        doc = _doc()
+        snap = doc.clone(preserve_ids=True)
+        doc.root.new_element("n")
+        script = diff_documents(snap, doc)
+        assert script.kinds() == ["insert"]
+
+    def test_insert_subtree_root_only(self):
+        doc = _doc()
+        snap = doc.clone(preserve_ids=True)
+        n = doc.root.new_element("n")
+        n.new_element("deep").new_text("t")
+        assert len(diff_documents(snap, doc).by_kind("insert")) == 1
+
+    def test_text_change(self):
+        doc = _doc()
+        snap = doc.clone(preserve_ids=True)
+        doc.root.first_child("a").children[0].value = "y"
+        script = diff_documents(snap, doc)
+        assert script.kinds() == ["text"]
+        op = script.ops[0]
+        assert (op.old, op.new) == ("x", "y")
+
+    def test_attrs_change(self):
+        doc = _doc()
+        snap = doc.clone(preserve_ids=True)
+        doc.root.first_child("a").attributes["k"] = "2"
+        script = diff_documents(snap, doc)
+        assert script.kinds() == ["attrs"]
+
+    def test_move(self):
+        doc = _doc()
+        snap = doc.clone(preserve_ids=True)
+        a = doc.root.first_child("a")
+        rec = a.detach()
+        doc.root.first_child("b").append(rec.node)
+        script = diff_documents(snap, doc)
+        assert "move" in script.kinds()
+
+    def test_positional_shift_not_a_move(self):
+        # Deleting <a> shifts <b>'s index but b did not move.
+        doc = _doc()
+        snap = doc.clone(preserve_ids=True)
+        doc.root.first_child("a").detach()
+        script = diff_documents(snap, doc)
+        assert script.kinds() == ["delete"]
+
+    def test_combined_edits(self):
+        doc = _doc()
+        snap = doc.clone(preserve_ids=True)
+        doc.root.first_child("a").detach()
+        doc.root.new_element("n")
+        kinds = sorted(diff_documents(snap, doc).kinds())
+        assert kinds == ["delete", "insert"]
+
+    def test_script_iteration(self):
+        doc = _doc()
+        snap = doc.clone(preserve_ids=True)
+        doc.root.new_element("n")
+        script = diff_documents(snap, doc)
+        assert len(list(script)) == len(script) == 1

@@ -1,0 +1,80 @@
+"""Generate docs/API.md from the package's docstrings.
+
+Run:  python tools/gen_api_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import os
+import pkgutil
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import repro  # noqa: E402
+
+
+def first_line(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    line = doc.splitlines()[0].strip() if doc else ""
+    return line
+
+
+def public_members(module):
+    for name in sorted(vars(module)):
+        if name.startswith("_"):
+            continue
+        obj = vars(module)[name]
+        if inspect.ismodule(obj):
+            continue
+        defined_here = getattr(obj, "__module__", None) == module.__name__
+        if not defined_here:
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+def iter_modules():
+    prefix = repro.__name__ + "."
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix):
+        if info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+def main() -> None:
+    lines = [
+        "# API reference",
+        "",
+        "One line per public item, generated from docstrings by",
+        "`python tools/gen_api_docs.py` — regenerate after API changes.",
+        "",
+    ]
+    for module in iter_modules():
+        members = list(public_members(module))
+        header = f"## `{module.__name__}`"
+        summary = first_line(module)
+        lines.append(header)
+        if summary:
+            lines.append(f"\n{summary}\n")
+        if not members:
+            lines.append("")
+            continue
+        for name, obj in members:
+            kind = "class" if inspect.isclass(obj) else "def"
+            description = first_line(obj) or "(undocumented)"
+            lines.append(f"- **{kind} `{name}`** — {description}")
+        lines.append("")
+    out_path = os.path.join(os.path.dirname(__file__), "..", "docs", "API.md")
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    undocumented = sum(1 for line in lines if "(undocumented)" in line)
+    print(f"wrote {out_path} ({len(lines)} lines, {undocumented} undocumented items)")
+
+
+if __name__ == "__main__":
+    main()
