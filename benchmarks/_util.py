@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import os
 
+from repro.obs.export import write_json_artifact
 from repro.sim.harness import ExperimentTable
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -22,3 +23,15 @@ def publish(table: ExperimentTable, filename: str) -> None:
     print(text)
     with open(os.path.join(RESULTS_DIR, filename), "w") as handle:
         handle.write(text + "\n")
+
+
+def publish_json(table: ExperimentTable, filename: str, **extra: object) -> str:
+    """Archive the table (plus any extra payloads) as a JSON artifact.
+
+    The artifact is strict JSON — sorted keys, non-finite floats
+    exported as null — so downstream tooling can ``json.loads`` it.
+    Returns the written path.
+    """
+    payload = dict(table.to_dict())
+    payload.update(extra)
+    return write_json_artifact(os.path.join(RESULTS_DIR, filename), payload)

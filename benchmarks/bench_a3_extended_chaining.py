@@ -50,7 +50,7 @@ def run_point(scope: str, units_per_peer: int = 10):
         "scope": scope,
         "informed": scenario.metrics.get("descendants_informed"),
         "wasted_units": scenario.metrics.get("work_units_wasted"),
-        "notices": scenario.metrics.get("messages.DisconnectNotice"),
+        "notices": scenario.metrics.get("messages.disconnect_notice"),
     }
 
 

@@ -67,7 +67,7 @@ def run_sweep(seeds=range(8)):
                     "discarded": mean([s["discarded"] for s in samples]),
                     "redirected": mean([s["redirected"] for s in samples]),
                     "detect_s": mean(
-                        [s["detect"] for s in samples if s["detect"] != float("inf")]
+                        [s["detect"] for s in samples if s["detect"] is not None]
                     ),
                 }
             )

@@ -18,7 +18,11 @@ from repro.sim.harness import ExperimentTable
 from repro.sim.scenarios import build_fig1, run_root_transaction
 from repro.txn.recovery import FaultPolicy
 
-from _util import publish
+from _util import publish, publish_json
+
+#: config label → full metrics dump (histogram summaries included) from
+#: the most recent run, exported alongside the table as JSON.
+METRICS_BY_CONFIG = {}
 
 
 def run_config(handler_at: str):
@@ -35,11 +39,13 @@ def run_config(handler_at: str):
     compensation_cost = sum(
         peer.manager.compensation_cost for peer in scenario.peers.values()
     )
+    config = f"handler@{handler_at}" if handler_at else "no handlers"
+    METRICS_BY_CONFIG[config] = scenario.metrics.to_dict(include_values=False)
     return {
-        "config": f"handler@{handler_at}" if handler_at else "no handlers",
+        "config": config,
         "outcome": "recovered" if error is None else "aborted",
         "local_aborts": scenario.metrics.get("local_aborts"),
-        "abort_msgs": scenario.metrics.get("messages.AbortMessage"),
+        "abort_msgs": scenario.metrics.get("messages.abort"),
         "discarded": scenario.metrics.get("invocations_discarded"),
         "forward_recoveries": scenario.metrics.get("forward_recoveries"),
         "comp_nodes": compensation_cost,
@@ -76,3 +82,4 @@ def test_fig1_nested_recovery(benchmark):
         "forward recovery at AP3 confines compensation to the AP5/AP6 subtree"
     )
     publish(table, "f1_nested_recovery.txt")
+    publish_json(table, "f1_nested_recovery.json", metrics=METRICS_BY_CONFIG)

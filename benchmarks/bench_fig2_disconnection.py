@@ -21,7 +21,16 @@ from repro.txn.disconnection import (
 )
 from repro.txn.recovery import DISCONNECT_FAULT, FaultPolicy
 
-from _util import publish
+from _util import publish, publish_json
+
+#: (case, protocol) label → metrics dump (histogram summaries included)
+#: from the most recent run, exported alongside the table as JSON.
+METRICS_BY_CASE = {}
+
+
+def _stash(case: str, chaining: bool, scenario) -> None:
+    label = f"{case}:{'chaining' if chaining else 'naive'}"
+    METRICS_BY_CASE[label] = scenario.metrics.to_dict(include_values=False)
 
 
 def _fig2(chaining: bool, with_replacement: bool = False):
@@ -42,6 +51,7 @@ def run_case_b(chaining: bool):
     scenario = _fig2(chaining, with_replacement=True)
     scenario.injector.disconnect_peer_during("AP3", "AP6", "S6", "after_local_work")
     txn, error = run_root_transaction(scenario)
+    _stash("b", chaining, scenario)
     return {
         "case": "b:parent-dies",
         "protocol": "chaining" if chaining else "naive",
@@ -64,6 +74,7 @@ def run_case_c(chaining: bool):
     scenario.network.disconnect("AP3")
     report = run_case_c_child_disconnection(scenario.peer("AP2"), txn.txn_id)
     scenario.network.events.run_until(scenario.network.clock.now + 5.0)
+    _stash("c", chaining, scenario)
     return {
         "case": "c:child-dies",
         "protocol": "chaining" if chaining else "naive",
@@ -84,6 +95,7 @@ def run_case_d(chaining: bool):
     informed = int(txn.txn_id in scenario.peer("AP2").known_doomed) + int(
         txn.txn_id in scenario.peer("AP6").known_doomed
     )
+    _stash("d", chaining, scenario)
     return {
         "case": "d:sibling-silent",
         "protocol": "chaining" if chaining else "naive",
@@ -136,3 +148,4 @@ def test_fig2_disconnection_cases(benchmark):
     assert by_key[("d:sibling-silent", "naive")]["recovered"] == 0
     table.add_note("recovered column: (b) txn survived, (d) relatives informed")
     publish(table, "f2_disconnection.txt")
+    publish_json(table, "f2_disconnection.json", metrics=METRICS_BY_CASE)

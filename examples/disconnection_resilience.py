@@ -36,8 +36,9 @@ def main() -> None:
     s.network.disconnect("AP6")
     txn, err = run_root_transaction(s)
     print(f"  origin saw: {type(err).__name__}")
-    print(f"  detection latency: {s.metrics.detection_latency('AP6'):.3f}s "
-          f"(the failed invocation itself)\n")
+    latency = s.metrics.detection_latency("AP6")
+    detected = f"{latency:.3f}s" if latency is not None else "never detected"
+    print(f"  detection latency: {detected} (the failed invocation itself)\n")
 
     # ---------------------------------------------------------- case (b)
     print("case (b): AP3 dies while AP6 processes S6 — child detects parent death")

@@ -62,7 +62,7 @@ def main() -> None:
     print(recorder.transcript())
     print(
         "\n(AP6 cannot return S6's results to dead AP3: the chain routes a\n"
-        " DisconnectNotice and the RedirectedResult to grandparent AP2)"
+        " disconnect_notice and the redirected_result to grandparent AP2)"
     )
 
 

@@ -7,6 +7,7 @@ Examples::
     python -m repro fig2 --case b
     python -m repro fig2 --case b --no-chaining
     python -m repro spheres --super-fraction 0.5 --transactions 500
+    python -m repro report --scenario fig1 --fault AP5:S5 --json-out run.json
 """
 
 from __future__ import annotations
@@ -156,6 +157,54 @@ def cmd_spheres(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run a scenario and render the observability report.
+
+    Shows transaction outcomes, the message breakdown, latency/depth
+    histogram percentiles and the slowest spans; ``--json-out`` also
+    writes the full metrics + span tree as a strict-JSON artifact.
+    """
+    from repro.obs import render_report, write_json_artifact
+
+    if args.scenario == "fig1":
+        scenario = build_fig1(chaining=not args.no_chaining)
+        if args.fault:
+            peer_id, method = _parse_peer_method(args.fault)
+            scenario.injector.fault_service(
+                peer_id, method, "Crash", point="after_execute"
+            )
+        if args.handler:
+            peer_id, method = _parse_peer_method(args.handler)
+            scenario.peer(peer_id).set_fault_policy(
+                method, [FaultPolicy(fault_names={"Crash"}, retry_times=2)]
+            )
+        txn, error = run_root_transaction(scenario)
+        if error is None:
+            scenario.peer("AP1").commit(txn.txn_id)
+        title = "fig1 nested recovery"
+    else:
+        scenario = build_fig2(chaining=not args.no_chaining)
+        scenario.injector.disconnect_peer_during(
+            "AP3", "AP6", "S6", "after_local_work"
+        )
+        run_root_transaction(scenario)
+        title = "fig2 disconnection (case b window)"
+
+    spans = scenario.network.spans
+    print(render_report(scenario.metrics, spans, title=f"repro report: {title}"))
+    if args.json_out:
+        write_json_artifact(
+            args.json_out,
+            {
+                "scenario": args.scenario,
+                "metrics": scenario.metrics.to_dict(),
+                "spans": spans.to_dict(),
+            },
+        )
+        print(f"\njson artifact written: {args.json_out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -182,6 +231,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_f2.add_argument("--case", choices=("b", "c", "d"), default="b")
     p_f2.add_argument("--no-chaining", action="store_true")
     p_f2.set_defaults(fn=cmd_fig2)
+
+    p_rep = subparsers.add_parser(
+        "report", help="run a scenario and print its observability report"
+    )
+    p_rep.add_argument("--scenario", choices=("fig1", "fig2"), default="fig1")
+    p_rep.add_argument("--fault", metavar="PEER:METHOD",
+                       help="(fig1) inject a fault, e.g. AP5:S5")
+    p_rep.add_argument("--handler", metavar="PEER:METHOD",
+                       help="(fig1) install a retry handler, e.g. AP3:S5")
+    p_rep.add_argument("--no-chaining", action="store_true")
+    p_rep.add_argument("--json-out", metavar="PATH",
+                       help="also write metrics + spans as a JSON artifact")
+    p_rep.set_defaults(fn=cmd_report)
 
     p_sp = subparsers.add_parser("spheres", help="spheres-of-atomicity analysis")
     p_sp.add_argument("--super-fraction", type=float, default=0.5)

@@ -1,0 +1,32 @@
+"""Structured observability: spans, histograms, JSON export, reports.
+
+The paper evaluates its protocols by counting messages, pings and
+"the number of XML nodes affected" (§3.2–§3.3); this package grows that
+into a first-class monitoring subsystem, the way production P2P XML
+platforms (ViP2P, the WebContent XML Store) treat tracing:
+
+* :mod:`repro.obs.spans` — hierarchical spans over virtual time
+  (transaction → service invocation → compensation step), emitted by
+  the network, the peers and the transaction managers;
+* :mod:`repro.obs.histogram` — latency/size distributions with
+  percentiles, recorded alongside the flat counters;
+* :mod:`repro.obs.export` — stable, strictly valid JSON artifacts
+  (sorted keys, no ``Infinity``/``NaN``) for cross-run trajectories;
+* :mod:`repro.obs.report` — the ``repro report`` run summary.
+"""
+
+from repro.obs.export import sanitize_for_json, stable_json, write_json_artifact
+from repro.obs.histogram import Histogram
+from repro.obs.report import render_report, run_summary
+from repro.obs.spans import Span, SpanCollector
+
+__all__ = [
+    "Histogram",
+    "Span",
+    "SpanCollector",
+    "render_report",
+    "run_summary",
+    "sanitize_for_json",
+    "stable_json",
+    "write_json_artifact",
+]

@@ -1,0 +1,47 @@
+"""Strict JSON export for metrics and spans.
+
+Python's :func:`json.dumps` happily emits ``Infinity``/``NaN``, which no
+strict parser (and no downstream tooling) accepts.  Every artifact this
+repository writes goes through :func:`stable_json`: non-finite floats
+become ``null``, keys are sorted, and the layout is fixed — so two runs
+of the same scenario produce byte-identical files and ``BENCH_*.json``
+trajectories diff cleanly across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any
+
+
+def sanitize_for_json(obj: Any) -> Any:
+    """Recursively replace non-finite floats with ``None``.
+
+    Dict keys are coerced to strings (JSON object keys always are), so a
+    sanitized structure always survives ``json.dumps(..., allow_nan=False)``.
+    """
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, dict):
+        return {str(k): sanitize_for_json(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [sanitize_for_json(v) for v in obj]
+    return obj
+
+
+def stable_json(obj: Any) -> str:
+    """Serialize *obj* as strict, stable JSON (sorted keys, no NaN/inf)."""
+    return json.dumps(
+        sanitize_for_json(obj), sort_keys=True, allow_nan=False, indent=2
+    )
+
+
+def write_json_artifact(path: str, obj: Any) -> str:
+    """Write *obj* as a stable JSON artifact; returns the path written."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(stable_json(obj) + "\n")
+    return path

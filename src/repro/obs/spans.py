@@ -1,0 +1,231 @@
+"""Hierarchical spans over virtual time.
+
+A span is one timed step of a run — a transaction, a service invocation,
+an RPC hop, a compensation pass — with a status and a link to the span
+it ran inside.  The simulation is synchronous (RPCs block, services run
+in-process), so a single active-span stack per collector reconstructs
+the full hierarchy: whatever is on top of the stack when a span starts
+is its parent.
+
+Long-lived spans that do not nest strictly (a transaction stays open
+across many top-level invocations) start *detached*: they never join the
+stack, and children name them explicitly via ``parent=``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.obs.export import stable_json
+
+
+@dataclass
+class Span:
+    """One timed, attributed step of a simulation run."""
+
+    span_id: int
+    name: str
+    kind: str  # transaction | invoke | rpc | service | compensation | ...
+    peer: str = ""
+    txn_id: str = ""
+    start: float = 0.0
+    end: Optional[float] = None
+    status: str = "running"  # ok | committed | aborted | fault | disconnected | ...
+    parent_id: Optional[int] = None
+    attrs: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "kind": self.kind,
+            "peer": self.peer,
+            "txn_id": self.txn_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "parent_id": self.parent_id,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Span":
+        return cls(
+            span_id=int(data["span_id"]),  # type: ignore[arg-type]
+            name=str(data["name"]),
+            kind=str(data["kind"]),
+            peer=str(data.get("peer", "")),
+            txn_id=str(data.get("txn_id", "")),
+            start=float(data.get("start", 0.0)),  # type: ignore[arg-type]
+            end=None if data.get("end") is None else float(data["end"]),  # type: ignore[arg-type]
+            status=str(data.get("status", "running")),
+            parent_id=(
+                None if data.get("parent_id") is None else int(data["parent_id"])  # type: ignore[arg-type]
+            ),
+            attrs={str(k): str(v) for k, v in dict(data.get("attrs", {})).items()},  # type: ignore[arg-type]
+        )
+
+    def __str__(self) -> str:
+        took = "…" if self.duration is None else f"{self.duration:.4f}s"
+        return f"[{self.kind}] {self.name} ({self.status}, {took})"
+
+
+class SpanCollector:
+    """Collects spans for one simulation run.
+
+    ``now`` supplies virtual time — pass ``lambda: clock.now`` from the
+    owning network so span timestamps line up with the metrics.
+    """
+
+    def __init__(self, now: Optional[Callable[[], float]] = None):
+        self.now: Callable[[], float] = now or (lambda: 0.0)
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._ids = itertools.count(1)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(
+        self,
+        name: str,
+        kind: str,
+        peer: str = "",
+        txn_id: str = "",
+        parent: Optional[Span] = None,
+        detached: bool = False,
+        **attrs: str,
+    ) -> Span:
+        """Open a span; its parent is *parent* or the innermost open span.
+
+        ``detached`` keeps the span off the active stack (for long-lived
+        spans, e.g. whole transactions, that outlive strict nesting).
+        """
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        span = Span(
+            span_id=next(self._ids),
+            name=name,
+            kind=kind,
+            peer=peer,
+            txn_id=txn_id,
+            start=self.now(),
+            parent_id=None if parent is None else parent.span_id,
+            attrs={k: str(v) for k, v in attrs.items()},
+        )
+        self.spans.append(span)
+        if not detached:
+            self._stack.append(span)
+        return span
+
+    def end(self, span: Span, status: str = "ok", **attrs: str) -> Span:
+        """Close a span (idempotent); removes it from the active stack."""
+        if span.end is None:
+            span.end = self.now()
+            span.status = status
+            span.attrs.update({k: str(v) for k, v in attrs.items()})
+        if span in self._stack:
+            self._stack.remove(span)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        kind: str,
+        peer: str = "",
+        txn_id: str = "",
+        parent: Optional[Span] = None,
+        **attrs: str,
+    ) -> Iterator[Span]:
+        """Context manager: ``ok`` on exit, the exception type on raise."""
+        opened = self.start(name, kind, peer=peer, txn_id=txn_id, parent=parent, **attrs)
+        try:
+            yield opened
+        except BaseException as exc:
+            self.end(opened, status=f"error:{type(exc).__name__}")
+            raise
+        else:
+            if opened.end is None:
+                self.end(opened, status="ok")
+
+    def current(self) -> Optional[Span]:
+        """The innermost open (stacked) span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # -- reading --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def finished(self) -> List[Span]:
+        return [s for s in self.spans if s.finished]
+
+    def by_kind(self, kind: str) -> List[Span]:
+        return [s for s in self.spans if s.kind == kind]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def slowest(self, n: int = 5, kind: Optional[str] = None) -> List[Span]:
+        """The *n* longest finished spans (optionally of one kind)."""
+        pool = [
+            s
+            for s in self.spans
+            if s.finished and (kind is None or s.kind == kind)
+        ]
+        pool.sort(key=lambda s: (-(s.duration or 0.0), s.span_id))
+        return pool[:n]
+
+    def summary(self) -> Dict[str, object]:
+        """Counts by kind and by status, plus the open-span count."""
+        by_kind: Dict[str, int] = {}
+        by_status: Dict[str, int] = {}
+        for span in self.spans:
+            by_kind[span.kind] = by_kind.get(span.kind, 0) + 1
+            by_status[span.status] = by_status.get(span.status, 0) + 1
+        return {
+            "total": len(self.spans),
+            "open": sum(1 for s in self.spans if not s.finished),
+            "by_kind": by_kind,
+            "by_status": by_status,
+        }
+
+    # -- export ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "summary": self.summary(),
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    def to_json(self) -> str:
+        """Valid, stable JSON (sorted keys, no ``Infinity``/``NaN``)."""
+        return stable_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "SpanCollector":
+        """Rebuild a read-only collector from :meth:`to_json` output."""
+        import json
+
+        data = json.loads(text)
+        collector = cls()
+        collector.spans = [Span.from_dict(d) for d in data.get("spans", [])]
+        if collector.spans:
+            top = max(span.span_id for span in collector.spans)
+            collector._ids = itertools.count(top + 1)
+        return collector
+
+    def __repr__(self) -> str:
+        return f"SpanCollector(spans={len(self.spans)}, open={len(self._stack)})"

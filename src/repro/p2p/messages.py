@@ -5,12 +5,29 @@ result, as a SOAP call would); everything else — aborts, disconnect
 notices, redirected results, pings — travels as one-way notifications.
 All messages are plain dataclasses; the network layer counts and
 delivers them.
+
+Every message class carries a lowercase protocol ``KIND`` — the single
+naming scheme used by metrics keys (``messages.abort``) and trace
+details, matching the ``invoke``/``result``/``ping`` names the RPC path
+already used.  :func:`message_kind` resolves it for any message object.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import ClassVar, Dict, List, Optional, Sequence
+
+
+def message_kind(message: object) -> str:
+    """The lowercase protocol name of *message* (``abort``, ``commit``, …).
+
+    Falls back to the lowercased class name for foreign message types so
+    metrics keys stay in one scheme even for test doubles.
+    """
+    kind = getattr(type(message), "KIND", None)
+    if isinstance(kind, str) and kind:
+        return kind
+    return type(message).__name__.lower()
 
 
 @dataclass
@@ -20,6 +37,8 @@ class InvokeRequest:
     ``chain_text`` piggybacks the active-peer chain (§3.3); empty when
     chaining is disabled (the naive baseline).
     """
+
+    KIND: ClassVar[str] = "invoke"
 
     txn_id: str
     origin_peer: str
@@ -45,6 +64,8 @@ class InvokeResult:
     directly").
     """
 
+    KIND: ClassVar[str] = "result"
+
     fragments: List[str] = field(default_factory=list)
     provider_peer: str = ""
     compensations: List[tuple] = field(default_factory=list)
@@ -59,6 +80,8 @@ class InvokeResult:
 class AbortMessage:
     """"Abort T_A" (§3.2's nested recovery protocol)."""
 
+    KIND: ClassVar[str] = "abort"
+
     txn_id: str
     from_peer: str
     failed_method: str = ""
@@ -68,6 +91,8 @@ class AbortMessage:
 @dataclass
 class DisconnectNotice:
     """Notification that a peer was observed disconnected (§3.3)."""
+
+    KIND: ClassVar[str] = "disconnect_notice"
 
     txn_id: str
     disconnected_peer: str
@@ -84,6 +109,8 @@ class RedirectedResult:
     forward-recovers S3 on a replacement peer.
     """
 
+    KIND: ClassVar[str] = "redirected_result"
+
     txn_id: str
     from_peer: str
     dead_parent: str
@@ -96,6 +123,8 @@ class RedirectedResult:
 class CommitMessage:
     """Origin → participants: the transaction committed; release state."""
 
+    KIND: ClassVar[str] = "commit"
+
     txn_id: str
     from_peer: str
 
@@ -107,6 +136,8 @@ class CompensationRequest:
     original peers".  The receiver executes the plan without knowing it
     is compensation."""
 
+    KIND: ClassVar[str] = "compensation"
+
     txn_id: str
     plan_xml: str
     from_peer: str
@@ -115,6 +146,8 @@ class CompensationRequest:
 @dataclass
 class PingMessage:
     """Keep-alive probe; the reply is implicit in the network call."""
+
+    KIND: ClassVar[str] = "ping"
 
     from_peer: str
     to_peer: str

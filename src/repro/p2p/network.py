@@ -15,8 +15,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Protocol
 
-from repro.errors import PeerDisconnected, UnknownPeer
-from repro.p2p.messages import InvokeRequest, InvokeResult
+from repro.errors import PeerDisconnected, ServiceFault, UnknownPeer
+from repro.obs.spans import SpanCollector
+from repro.p2p.messages import InvokeRequest, InvokeResult, message_kind
 from repro.sim.kernel import Clock, EventQueue
 from repro.sim.metrics import MetricsCollector
 
@@ -42,10 +43,12 @@ class SimNetwork:
         clock: Optional[Clock] = None,
         metrics: Optional[MetricsCollector] = None,
         hop_latency: float = 0.005,
+        spans: Optional[SpanCollector] = None,
     ):
         self.clock = clock or Clock()
         self.events = EventQueue(self.clock)
         self.metrics = metrics or MetricsCollector()
+        self.spans = spans or SpanCollector(now=lambda: self.clock.now)
         self.hop_latency = hop_latency
         self._peers: Dict[str, NetworkPeer] = {}
         #: Virtual time each peer disconnected at (for detection latency).
@@ -102,8 +105,40 @@ class SimNetwork:
         successful execution whose results cannot be delivered because
         the *caller* died — the source (§3.3b; the target's
         ``on_return_failure`` hook has then already run).
+
+        Every call gets a span (kind ``rpc``) and a sample in the
+        ``rpc_latency`` histogram, success or failure alike.
         """
         self.metrics.record_message("invoke")
+        span = self.spans.start(
+            f"rpc:{request.method_name}",
+            "rpc",
+            peer=source_id,
+            txn_id=request.txn_id,
+            target=target_id,
+        )
+        started = self.clock.now
+        try:
+            result = self._rpc_deliver(source_id, target_id, request)
+        except PeerDisconnected as exc:
+            self.spans.end(span, status="disconnected", dead_peer=exc.peer_id)
+            raise
+        except ServiceFault as fault:
+            self.spans.end(span, status="fault", fault_name=fault.fault_name)
+            raise
+        except Exception:
+            self.spans.end(span, status="error")
+            raise
+        else:
+            self.spans.end(span, status="ok")
+            return result
+        finally:
+            self.metrics.record_value("rpc_latency", self.clock.now - started)
+
+    def _rpc_deliver(
+        self, source_id: str, target_id: str, request: InvokeRequest
+    ) -> InvokeResult:
+        """The unobserved RPC protocol: deliver, execute, return."""
         self.clock.advance(self.hop_latency)
         target = self.get_peer(target_id)
         if target.disconnected:
@@ -133,8 +168,13 @@ class SimNetwork:
         return result
 
     def notify(self, source_id: str, target_id: str, message: object) -> bool:
-        """One-way message; returns False when the target is unreachable."""
-        self.metrics.record_message(type(message).__name__)
+        """One-way message; returns False when the target is unreachable.
+
+        Message kinds are recorded under their lowercase protocol names
+        (``messages.abort``, ``messages.disconnect_notice``, …) — the
+        same scheme :meth:`rpc` uses for ``messages.invoke``/``result``.
+        """
+        self.metrics.record_message(message_kind(message))
         self.clock.advance(self.hop_latency)
         peer = self._peers.get(target_id)
         if peer is None or peer.disconnected:

@@ -42,7 +42,8 @@ from repro.query.ast import UpdateAction
 from repro.query.parser import parse_action
 from repro.services.registry import ServiceRegistry
 from repro.services.service import Service, ServiceResponse
-from repro.sim.rng import SeededRng
+from repro.obs.spans import Span
+from repro.sim.rng import SeededRng, stable_seed
 from repro.txn.manager import TransactionManager
 from repro.txn.operations import OperationOutcome
 from repro.txn.recovery import (
@@ -102,7 +103,10 @@ class AXMLPeer:
         self.manager = TransactionManager(
             peer_id, self.get_axml_document, validator=validator
         )
-        self.rng = SeededRng(seed ^ hash(peer_id) & 0x7FFFFFFF)
+        # Per-peer stream derived with a process-stable digest — never
+        # hash(), whose per-process salting (PYTHONHASHSEED) would make
+        # "seeded" runs irreproducible across interpreter processes.
+        self.rng = SeededRng(stable_seed(seed, peer_id))
         #: Caller-side fault policies per remote method (§3.2 handlers).
         self.fault_policies: Dict[str, List[FaultPolicy]] = {}
         #: txn id → this peer's view of the active-peer chain (§3.3).
@@ -120,6 +124,9 @@ class AXMLPeer:
         #: Transactions currently executing on this peer (services run
         #: synchronously, so a stack suffices).
         self._txn_stack_storage: List[str] = []
+        #: txn id → the origin-side transaction span (detached root).
+        self._txn_spans: Dict[str, Span] = {}
+        self.manager.bind_observability(network.spans)
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -235,7 +242,28 @@ class AXMLPeer:
         transaction = Transaction.begin(self.peer_id)
         self.manager.begin(transaction)
         self.chains[transaction.txn_id] = PeerChain(self.peer_id, self.super_peer)
+        # The transaction span is the detached root of this txn's span
+        # tree; invocations outside any open span attach themselves here.
+        self._txn_spans[transaction.txn_id] = self.network.spans.start(
+            f"txn:{transaction.txn_id}",
+            "transaction",
+            peer=self.peer_id,
+            txn_id=transaction.txn_id,
+            detached=True,
+        )
         return transaction
+
+    def _end_txn_span(self, txn_id: str, status: str) -> None:
+        span = self._txn_spans.pop(txn_id, None)
+        if span is not None:
+            self.network.spans.end(span, status=status)
+
+    def _exception_status(self, exc: BaseException) -> str:
+        if isinstance(exc, PeerDisconnected):
+            return "disconnected"
+        if isinstance(exc, ServiceFault):
+            return "fault"
+        return "error"
 
     def submit(
         self,
@@ -290,56 +318,76 @@ class AXMLPeer:
         params = dict(params or {})
         context = self.manager.context(txn_id)
         context.require_active()
-        edge = context.record_invocation(target_peer, method_name)
-        chain = self.chains.get(txn_id)
-        if chain is not None and self.chaining and not chain.contains(target_peer):
-            chain.add_invocation(
-                self.peer_id, target_peer, self._peer_is_super(target_peer)
-            )
-        reuse = dict(reused_fragments or {})
-        stored = self.reusable_results.pop((txn_id, method_name), None)
-        if stored is not None:
-            # We hold redirected results for this very method: no need to
-            # re-invoke at all (§3.3b reuse at the recovering peer).
-            self.network.metrics.record_reused_invocation()
-            edge.completed = True
-            return stored
-        request = InvokeRequest(
+        spans = self.network.spans
+        span = spans.start(
+            f"invoke:{method_name}",
+            "invoke",
+            peer=self.peer_id,
             txn_id=txn_id,
-            origin_peer=context.transaction.origin_peer,
-            sender=self.peer_id,
-            method_name=method_name,
-            params=params,
-            chain_text=chain.to_text() if (chain is not None and self.chaining) else "",
-            reused_fragments=reuse,
+            parent=spans.current() or self._txn_spans.get(txn_id),
+            target=target_peer,
         )
-        self.network.metrics.record_invocation()
+        status = "ok"
         try:
-            result = self.network.rpc(self.peer_id, target_peer, request)
-        except (ServiceFault, PeerDisconnected) as exc:
-            if isinstance(exc, PeerDisconnected) and exc.peer_id == self.peer_id:
-                raise  # we are the dead one; nothing to recover
-            decision = self._try_forward_recovery(
-                txn_id, target_peer, method_name, params, exc, policies
-            )
-            if decision.handled:
+            edge = context.record_invocation(target_peer, method_name)
+            chain = self.chains.get(txn_id)
+            if chain is not None and self.chaining and not chain.contains(target_peer):
+                chain.add_invocation(
+                    self.peer_id, target_peer, self._peer_is_super(target_peer)
+                )
+            reuse = dict(reused_fragments or {})
+            stored = self.reusable_results.pop((txn_id, method_name), None)
+            if stored is not None:
+                # We hold redirected results for this very method: no need to
+                # re-invoke at all (§3.3b reuse at the recovering peer).
+                self.network.metrics.record_reused_invocation()
                 edge.completed = True
-                self.network.metrics.incr("forward_recoveries")
-                if decision.used_alternative:
-                    self.network.metrics.incr("replica_retries")
-                return decision.fragments
-            edge.failed = True
-            self._backward_recover(txn_id, exclude_peer=target_peer)
+                status = "reused"
+                return stored
+            request = InvokeRequest(
+                txn_id=txn_id,
+                origin_peer=context.transaction.origin_peer,
+                sender=self.peer_id,
+                method_name=method_name,
+                params=params,
+                chain_text=chain.to_text() if (chain is not None and self.chaining) else "",
+                reused_fragments=reuse,
+            )
+            self.network.metrics.record_invocation()
+            try:
+                result = self.network.rpc(self.peer_id, target_peer, request)
+            except (ServiceFault, PeerDisconnected) as exc:
+                if isinstance(exc, PeerDisconnected) and exc.peer_id == self.peer_id:
+                    raise  # we are the dead one; nothing to recover
+                decision = self._try_forward_recovery(
+                    txn_id, target_peer, method_name, params, exc, policies
+                )
+                if decision.handled:
+                    edge.completed = True
+                    self.network.metrics.incr("forward_recoveries")
+                    if decision.used_alternative:
+                        self.network.metrics.incr("replica_retries")
+                    status = "recovered"
+                    return decision.fragments
+                edge.failed = True
+                self._backward_recover(txn_id, exclude_peer=target_peer)
+                raise
+            edge.completed = True
+            for provider, plan_xml in result.compensations:
+                context.record_compensation_definition(provider, plan_xml)
+            if result.chain_text and chain is not None and self.chaining:
+                # Fold the callee's deeper invocations into our view so later
+                # siblings receive the complete active-peer list (§3.3).
+                chain.merge(PeerChain.from_text(result.chain_text))
+            if chain is not None and self.chaining:
+                self.network.metrics.record_value("chain_length", len(chain.peers()))
+            self.network.metrics.record_forward_cost(result.nodes_affected)
+            return result.fragments
+        except BaseException as exc:
+            status = self._exception_status(exc)
             raise
-        edge.completed = True
-        for provider, plan_xml in result.compensations:
-            context.record_compensation_definition(provider, plan_xml)
-        if result.chain_text and chain is not None and self.chaining:
-            # Fold the callee's deeper invocations into our view so later
-            # siblings receive the complete active-peer list (§3.3).
-            chain.merge(PeerChain.from_text(result.chain_text))
-        self.network.metrics.record_forward_cost(result.nodes_affected)
-        return result.fragments
+        finally:
+            spans.end(span, status=status)
 
     def commit(self, txn_id: str) -> None:
         """Origin-side commit: release local state, tell participants."""
@@ -360,6 +408,7 @@ class AXMLPeer:
             )
         self._cancel_pending_work(txn_id)
         self.network.metrics.record_txn_outcome(txn_id, "committed")
+        self._end_txn_span(txn_id, "committed")
 
     def abort(self, txn_id: str) -> bool:
         """Origin-initiated abort; returns True if compensation fully ran.
@@ -382,6 +431,7 @@ class AXMLPeer:
         self.network.metrics.record_txn_outcome(
             txn_id, "aborted" if complete else "abort_incomplete"
         )
+        self._end_txn_span(txn_id, "aborted" if complete else "abort_incomplete")
         return complete
 
     def _participants_all_reached(self, txn_id: str) -> bool:
@@ -439,6 +489,14 @@ class AXMLPeer:
             self.chains[request.txn_id] = PeerChain.from_text(request.chain_text)
         for method, fragments in request.reused_fragments.items():
             self._incoming_reuse[(request.txn_id, method)] = list(fragments)
+        span = self.network.spans.start(
+            f"service:{request.method_name}",
+            "service",
+            peer=self.peer_id,
+            txn_id=request.txn_id,
+            sender=request.sender,
+        )
+        status = "ok"
         self._txn_stack.append(request.txn_id)
         try:
             if injector is not None:
@@ -490,6 +548,7 @@ class AXMLPeer:
             # §3.2 steps 1-2, callee side: abort my share and tell the
             # peers whose services I invoked; then let the fault travel
             # back to my invoker.
+            status = "fault"
             if not self.disconnected:
                 self._backward_recover(request.txn_id, exclude_peer=request.sender)
             raise
@@ -497,9 +556,11 @@ class AXMLPeer:
             # Either I died mid-execution (do nothing — dead peers take
             # no actions) or an unrecoverable child failure already
             # triggered my backward recovery in invoke().
+            status = "disconnected"
             raise
         finally:
             self._txn_stack.pop()
+            self.network.spans.end(span, status=status)
 
     def _execute_local_service(
         self, txn_id: str, method_name: str, params: Dict[str, str]
@@ -606,10 +667,12 @@ class AXMLPeer:
         discarded = sum(1 for e in context.invocations if e.completed)
         if discarded:
             self.network.metrics.record_discarded_invocation(discarded)
-        self.manager.abort_local(txn_id)
+        executed = self.manager.abort_local(txn_id)
+        self.network.metrics.record_value("compensation_depth", executed)
         self.network.metrics.incr("local_aborts")
         if context.is_origin:
             self.network.metrics.record_txn_outcome(txn_id, "aborted")
+            self._end_txn_span(txn_id, "aborted")
         for peer_id in context.invoked_peers():
             if peer_id == exclude_peer:
                 continue

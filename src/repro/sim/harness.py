@@ -9,7 +9,9 @@ across runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.obs.export import stable_json, write_json_artifact
 
 
 @dataclass
@@ -35,6 +37,10 @@ class ExperimentTable:
 
     @staticmethod
     def _format(value: Any) -> str:
+        if value is None:
+            # Absent measurements (e.g. no detection event) render as a
+            # dash; they are exported as JSON null, never Infinity.
+            return "-"
         if isinstance(value, float):
             if value == float("inf"):
                 return "inf"
@@ -59,6 +65,22 @@ class ExperimentTable:
 
     def print(self) -> None:  # pragma: no cover - console convenience
         print(self.render())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self) -> str:
+        """Strict JSON (sorted keys, non-finite floats → null)."""
+        return stable_json(self.to_dict())
+
+    def write_json(self, path: str) -> str:
+        """Write the table as a JSON artifact; returns *path*."""
+        return write_json_artifact(path, self.to_dict())
 
 
 def sweep(

@@ -12,13 +12,23 @@ quantities EXPERIMENTS.md reports:
   paper's cost measure, "the number of XML nodes affected (traversed)"
   (§3.2);
 * detection events with their virtual-time latency.
+
+Alongside the counters, named :class:`repro.obs.histogram.Histogram`
+distributions capture the quantities a single integer cannot — RPC
+latency, detection latency, compensation depth, chain length — and
+:meth:`MetricsCollector.to_json` exports everything as strict JSON
+(sorted keys, no ``Infinity``/``NaN``) for ``BENCH_*.json`` trajectories.
 """
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import DefaultDict, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, DefaultDict, Dict, List, Optional
+
+from repro.obs.export import stable_json
+from repro.obs.histogram import Histogram
 
 
 @dataclass
@@ -34,15 +44,26 @@ class DetectionEvent:
     def latency(self) -> float:
         return self.detect_time - self.disconnect_time
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "disconnected_peer": self.disconnected_peer,
+            "detected_by": self.detected_by,
+            "disconnect_time": self.disconnect_time,
+            "detect_time": self.detect_time,
+            "latency": self.latency,
+        }
+
 
 class MetricsCollector:
-    """Shared counters for one simulation run."""
+    """Shared counters and histograms for one simulation run."""
 
     def __init__(self) -> None:
         self.counters: DefaultDict[str, int] = defaultdict(int)
         self.detections: List[DetectionEvent] = []
         #: txn id → outcome string ("committed" / "aborted" / "stuck")
         self.txn_outcomes: Dict[str, str] = {}
+        #: name → distribution (rpc_latency, detection_latency, …).
+        self.histograms: Dict[str, Histogram] = {}
 
     # -- counters -------------------------------------------------------
 
@@ -51,6 +72,34 @@ class MetricsCollector:
 
     def get(self, name: str) -> int:
         return self.counters.get(name, 0)
+
+    # -- histograms -----------------------------------------------------
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram, created on first use."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name)
+        return histogram
+
+    def record_value(self, name: str, value: float) -> None:
+        """Record one sample into the named histogram."""
+        self.histogram(name).record(value)
+
+    def percentile(self, name: str, p: float) -> Optional[float]:
+        """The named histogram's *p*-th percentile; None when unsampled."""
+        histogram = self.histograms.get(name)
+        return None if histogram is None else histogram.percentile(p)
+
+    def p50(self, name: str) -> Optional[float]:
+        return self.percentile(name, 50)
+
+    def p95(self, name: str) -> Optional[float]:
+        return self.percentile(name, 95)
+
+    def max_value(self, name: str) -> Optional[float]:
+        histogram = self.histograms.get(name)
+        return None if histogram is None else histogram.max
 
     # -- convenience recorders --------------------------------------------
 
@@ -82,24 +131,32 @@ class MetricsCollector:
         disconnect_time: float,
         detect_time: float,
     ) -> None:
-        self.detections.append(
-            DetectionEvent(disconnected_peer, detected_by, disconnect_time, detect_time)
+        event = DetectionEvent(
+            disconnected_peer, detected_by, disconnect_time, detect_time
         )
+        self.detections.append(event)
+        self.record_value("detection_latency", event.latency)
 
     def record_txn_outcome(self, txn_id: str, outcome: str) -> None:
         self.txn_outcomes[txn_id] = outcome
 
     # -- summaries ------------------------------------------------------------
 
-    def detection_latency(self, disconnected_peer: Optional[str] = None) -> float:
-        """Earliest detection latency for a peer (or across all peers)."""
+    def detection_latency(
+        self, disconnected_peer: Optional[str] = None
+    ) -> Optional[float]:
+        """Earliest detection latency for a peer (or across all peers).
+
+        Returns ``None`` when nothing was detected — never ``inf``,
+        which would serialize as invalid JSON ``Infinity``.
+        """
         events = [
             e
             for e in self.detections
             if disconnected_peer is None or e.disconnected_peer == disconnected_peer
         ]
         if not events:
-            return float("inf")
+            return None
         return min(e.latency for e in events)
 
     def outcome_counts(self) -> Dict[str, int]:
@@ -110,6 +167,50 @@ class MetricsCollector:
 
     def snapshot(self) -> Dict[str, int]:
         return dict(self.counters)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dict(self, include_values: bool = True) -> Dict[str, Any]:
+        """Everything the collector holds, as a JSON-safe dict.
+
+        ``include_values`` keeps raw histogram samples so the export
+        round-trips losslessly through :meth:`from_json`.
+        """
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: histogram.to_dict(include_values=include_values)
+                for name, histogram in sorted(self.histograms.items())
+            },
+            "detections": [event.to_dict() for event in self.detections],
+            "txn_outcomes": dict(sorted(self.txn_outcomes.items())),
+            "detection_latency": self.detection_latency(),
+        }
+
+    def to_json(self, include_values: bool = True) -> str:
+        """Strict, stable JSON (sorted keys, no ``Infinity``/``NaN``)."""
+        return stable_json(self.to_dict(include_values=include_values))
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsCollector":
+        """Rebuild a collector from :meth:`to_json` output."""
+        data = json.loads(text)
+        collector = cls()
+        for name, value in data.get("counters", {}).items():
+            collector.counters[name] = int(value)
+        for name, payload in data.get("histograms", {}).items():
+            collector.histograms[name] = Histogram.from_dict(payload)
+        for event in data.get("detections", []):
+            collector.detections.append(
+                DetectionEvent(
+                    event["disconnected_peer"],
+                    event["detected_by"],
+                    event["disconnect_time"],
+                    event["detect_time"],
+                )
+            )
+        collector.txn_outcomes.update(data.get("txn_outcomes", {}))
+        return collector
 
     def __repr__(self) -> str:
         keys = ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))

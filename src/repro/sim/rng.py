@@ -8,9 +8,21 @@ byte-identical results.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
+
+
+def stable_seed(seed: int, label: str) -> int:
+    """Mix *label* into *seed* with a process-stable digest.
+
+    Built on :func:`zlib.crc32`, never :func:`hash`: ``hash(str)`` is
+    salted per process (``PYTHONHASHSEED``), so seeding with it silently
+    breaks reproducibility across runs — every "seeded" experiment would
+    draw different streams in different interpreter processes.
+    """
+    return (seed ^ zlib.crc32(label.encode("utf-8"))) & 0x7FFFFFFF
 
 
 class SeededRng:

@@ -12,9 +12,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.errors import PeerDisconnected, ServiceFault
-from repro.p2p.messages import InvokeRequest
+from repro.errors import PeerDisconnected, ReproError, ServiceFault
+from repro.p2p.messages import InvokeRequest, message_kind
 from repro.p2p.network import SimNetwork
+
+
+class TraceAttachError(ReproError):
+    """Raised when recorders detach out of nesting order.
+
+    Two recorders may wrap the same network, but they must unwind
+    innermost-first: detaching the outer one first would restore *its*
+    saved methods — the inner recorder's wrappers — and leave the inner
+    recorder permanently installed with no way to remove it.
+    """
 
 
 @dataclass(frozen=True)
@@ -44,6 +54,7 @@ class TraceRecorder:
         self._original_rpc = network.rpc
         self._original_notify = network.notify
         self._original_ping = network.ping
+        self._attached = True
         network.rpc = self._rpc
         network.notify = self._notify
         network.ping = self._ping
@@ -70,7 +81,7 @@ class TraceRecorder:
         return result
 
     def _notify(self, source_id: str, target_id: str, message: object) -> bool:
-        detail = type(message).__name__
+        detail = message_kind(message)
         txn_id = getattr(message, "txn_id", "")
         if txn_id:
             detail = f"{detail}:{txn_id}"
@@ -84,11 +95,35 @@ class TraceRecorder:
 
     # -- reading ----------------------------------------------------------------
 
+    @property
+    def attached(self) -> bool:
+        return self._attached
+
     def detach(self) -> None:
-        """Restore the unwrapped network methods."""
+        """Restore the network methods this recorder wrapped.
+
+        Nesting-safe: detaching is only legal while this recorder's
+        wrappers are still the installed ones.  If another recorder
+        attached on top and has not detached yet, restoring our saved
+        originals would wipe its wrappers out of the chain and corrupt
+        the network's methods — so that raises instead.  Detaching an
+        already-detached recorder is a no-op.
+        """
+        if not self._attached:
+            return
+        if (
+            self.network.rpc != self._rpc
+            or self.network.notify != self._notify
+            or self.network.ping != self._ping
+        ):
+            raise TraceAttachError(
+                "cannot detach: another recorder is still attached on top "
+                "of this one (detach recorders innermost-first)"
+            )
         self.network.rpc = self._original_rpc
         self.network.notify = self._original_notify
         self.network.ping = self._original_ping
+        self._attached = False
 
     def shorthand(self, kinds: Optional[Tuple[str, ...]] = None) -> List[str]:
         """Compact ``kind:source->target:detail`` lines for assertions."""

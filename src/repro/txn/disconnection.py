@@ -36,7 +36,8 @@ class CaseReport:
     case: str
     disconnected_peer: str
     detected_by: str
-    detection_latency: float = float("inf")
+    #: None until a detection event for the peer exists.
+    detection_latency: Optional[float] = None
     work_reused: int = 0
     work_discarded: int = 0
     descendants_informed: int = 0

@@ -10,7 +10,7 @@ compensation when a transaction aborts.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.axml.document import AXMLDocument
 from repro.axml.materialize import Resolver
@@ -26,6 +26,9 @@ from repro.txn.operations import (
 from repro.txn.transaction import Transaction, TransactionContext, TransactionState
 from repro.txn.wal import OperationLog
 from repro.xmlstore.path import TraversalMeter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import SpanCollector
 
 #: Callable resolving a document name to the hosted AXML document.
 DocumentProvider = Callable[[str], AXMLDocument]
@@ -52,6 +55,26 @@ class TransactionManager:
         self.validator = validator
         #: Total nodes traversed by compensation at this peer (§3.2 cost).
         self.compensation_cost = 0
+        #: Optional observability sink (see :meth:`bind_observability`).
+        self.spans: Optional["SpanCollector"] = None
+
+    def bind_observability(self, spans: "SpanCollector") -> None:
+        """Emit compensation/recovery spans into *spans* from now on.
+
+        The owning peer binds its network's collector here so every
+        compensation run shows up in the transaction's span tree.
+        """
+        self.spans = spans
+
+    def _span(self, name: str, txn_id: str, **attrs: str):
+        """A compensation-step span, or a no-op when unbound."""
+        if self.spans is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self.spans.span(
+            name, "compensation", peer=self.peer_id, txn_id=txn_id, **attrs
+        )
 
     # -- context lifecycle ---------------------------------------------------
 
@@ -186,10 +209,11 @@ class TransactionManager:
         meter = meter or TraversalMeter()
         executed = 0
         plans = build_compensation(self.log, txn_id, self.ordered_compensation)
-        for plan in plans:
-            document = self._document_provider(plan.document_name).document
-            plan.execute(document, meter)
-            executed += len(plan)
+        with self._span(f"compensate:{txn_id}", txn_id, plans=str(len(plans))):
+            for plan in plans:
+                document = self._document_provider(plan.document_name).document
+                plan.execute(document, meter)
+                executed += len(plan)
         self.compensation_cost += meter.nodes_traversed
         context.transition(TransactionState.ABORTED)
         self.log.truncate(txn_id)
@@ -239,7 +263,10 @@ class TransactionManager:
         plan = CompensationPlan.from_xml(plan_xml)
         document = self._document_provider(plan.document_name).document
         meter = meter or TraversalMeter()
-        plan.execute(document, meter)
+        with self._span(
+            f"apply_compensation:{plan.document_name}", "", actions=str(len(plan))
+        ):
+            plan.execute(document, meter)
         self.compensation_cost += meter.nodes_traversed
         return len(plan)
 

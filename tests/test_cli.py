@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -21,6 +23,11 @@ class TestParser:
         )
         assert args.fault == "AP5:S5"
         assert args.no_chaining
+
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.scenario == "fig1"
+        assert args.json_out is None
 
 
 class TestCommands:
@@ -62,6 +69,33 @@ class TestCommands:
     def test_fig2_naive(self, capsys):
         assert main(["fig2", "--case", "b", "--no-chaining"]) == 0
         assert "[naive]" in capsys.readouterr().out
+
+    def test_report_fig1_fault(self, capsys):
+        assert main(["report", "--fault", "AP5:S5"]) == 0
+        out = capsys.readouterr().out
+        assert "-- transaction outcomes --" in out
+        assert "-- message breakdown --" in out
+        assert "rpc_latency" in out
+        assert "-- slowest spans --" in out
+        assert "aborted" in out
+
+    def test_report_fig2(self, capsys):
+        assert main(["report", "--scenario", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert "detection latency (earliest):" in out
+
+    def test_report_json_artifact(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(
+            ["report", "--scenario", "fig2", "--json-out", str(path)]
+        ) == 0
+        text = path.read_text()
+        assert "Infinity" not in text and "NaN" not in text
+        data = json.loads(text)
+        assert {"scenario", "metrics", "spans"} <= set(data)
+        assert data["metrics"]["histograms"]["rpc_latency"]["p50"] is not None
+        assert data["spans"]["summary"]["total"] > 0
 
     def test_spheres(self, capsys):
         assert main(["spheres", "--super-fraction", "1.0"]) == 0

@@ -31,7 +31,7 @@ class TestCaseALeaf:
         txn2 = origin.begin_transaction()
         report = run_case_a_leaf_disconnection(origin, txn2.txn_id, "AP6", "S6")
         assert not report.recovered
-        assert report.detection_latency < float("inf")
+        assert report.detection_latency is not None
 
     def test_forward_with_replica_policy(self):
         s = build_fig2(extra_peers=("AP6R",))
@@ -173,4 +173,5 @@ class TestDetectionLatency:
         s.injector.disconnect_peer_during("AP3", "AP6", "S6", "after_local_work")
         run_root_transaction(s)
         latency = s.metrics.detection_latency("AP3")
+        assert latency is not None
         assert latency <= 2 * s.network.hop_latency

@@ -15,7 +15,7 @@ from repro.txn.recovery import DISCONNECT_FAULT, FaultPolicy
 class TestCaseReport:
     def test_defaults(self):
         report = CaseReport("a", "AP6", "AP3")
-        assert report.detection_latency == float("inf")
+        assert report.detection_latency is None
         assert report.work_reused == 0
         assert not report.recovered
 

@@ -8,7 +8,7 @@ transcript.
 import pytest
 
 from repro.sim.scenarios import build_fig1, build_fig2, run_root_transaction
-from repro.sim.trace import TraceRecorder
+from repro.sim.trace import TraceAttachError, TraceRecorder
 from repro.txn.recovery import FaultPolicy
 
 
@@ -47,7 +47,7 @@ class TestFig1HappyTrace:
         scenario.peer("AP1").commit(txn.txn_id)
         commits = [
             line for line in recorder.shorthand(kinds=("notify",))
-            if "CommitMessage" in line
+            if ":commit:" in line
         ]
         assert len(commits) == 5  # AP2..AP6
 
@@ -62,14 +62,14 @@ class TestFig1AbortTrace:
         assert error is not None
         aborts = [
             line for line in recorder.shorthand(kinds=("notify",))
-            if "AbortMessage" in line
+            if ":abort:" in line
         ]
         # Step 1: AP5 -> AP6 (peer whose service it had invoked).
         # Step 4 at AP3: -> AP4; then at AP1: -> AP2.
         assert aborts == [
-            f"notify:AP5->AP6:AbortMessage:{txn.txn_id}",
-            f"notify:AP3->AP4:AbortMessage:{txn.txn_id}",
-            f"notify:AP1->AP2:AbortMessage:{txn.txn_id}",
+            f"notify:AP5->AP6:abort:{txn.txn_id}",
+            f"notify:AP3->AP4:abort:{txn.txn_id}",
+            f"notify:AP1->AP2:abort:{txn.txn_id}",
         ]
         faults = recorder.shorthand(kinds=("fault",))
         # The fault travels AP5 -> AP3 -> AP1 (the rpc fault propagation
@@ -93,8 +93,8 @@ class TestFig1AbortTrace:
         assert invokes.count("invoke:AP3->AP5:S5") == 2
         assert invokes.count("invoke:AP5->AP6:S6") == 2
         # The abort of the failed first attempt reached AP6 exactly once.
-        aborts = [l for l in recorder.shorthand(kinds=("notify",)) if "Abort" in l]
-        assert aborts == [f"notify:AP5->AP6:AbortMessage:{txn.txn_id}"]
+        aborts = [l for l in recorder.shorthand(kinds=("notify",)) if ":abort:" in l]
+        assert aborts == [f"notify:AP5->AP6:abort:{txn.txn_id}"]
 
 
 class TestFig2DisconnectTrace:
@@ -104,12 +104,12 @@ class TestFig2DisconnectTrace:
         scenario.injector.disconnect_peer_during("AP3", "AP6", "S6", "after_local_work")
         txn, _ = run_root_transaction(scenario)
         notifies = recorder.shorthand(kinds=("notify",))
-        assert f"notify:AP6->AP2:DisconnectNotice:{txn.txn_id}" in notifies
-        assert f"notify:AP6->AP2:RedirectedResult:{txn.txn_id}" in notifies
+        assert f"notify:AP6->AP2:disconnect_notice:{txn.txn_id}" in notifies
+        assert f"notify:AP6->AP2:redirected_result:{txn.txn_id}" in notifies
         # The notice precedes the redirected payload.
         assert notifies.index(
-            f"notify:AP6->AP2:DisconnectNotice:{txn.txn_id}"
-        ) < notifies.index(f"notify:AP6->AP2:RedirectedResult:{txn.txn_id}")
+            f"notify:AP6->AP2:disconnect_notice:{txn.txn_id}"
+        ) < notifies.index(f"notify:AP6->AP2:redirected_result:{txn.txn_id}")
 
     def test_detach_restores_network(self):
         scenario = build_fig2()
@@ -117,6 +117,34 @@ class TestFig2DisconnectTrace:
         recorder.detach()
         run_root_transaction(scenario)
         assert len(recorder) == 0
+
+    def test_detach_is_idempotent(self):
+        scenario = build_fig2()
+        recorder = TraceRecorder(scenario.network)
+        recorder.detach()
+        recorder.detach()  # second detach is a no-op
+        assert not recorder.attached
+        run_root_transaction(scenario)
+        assert len(recorder) == 0
+
+    def test_double_attach_detaches_innermost_first(self):
+        scenario = build_fig2()
+        outer = TraceRecorder(scenario.network)
+        inner = TraceRecorder(scenario.network)
+        # Both recorders see traffic while stacked.
+        run_root_transaction(scenario)
+        assert len(outer) > 0 and len(inner) > 0
+        # Out-of-order detach would orphan the inner wrapper: refused.
+        with pytest.raises(TraceAttachError):
+            outer.detach()
+        assert outer.attached
+        inner.detach()
+        outer.detach()
+        assert not outer.attached and not inner.attached
+        # The network is fully unwrapped again.
+        before_outer, before_inner = len(outer), len(inner)
+        run_root_transaction(build_fig2())
+        assert len(outer) == before_outer and len(inner) == before_inner
 
     def test_transcript_renders(self):
         scenario = build_fig1()

@@ -103,7 +103,7 @@ class TestFig1NestedRecovery:
         s.injector.fault_service("AP5", "S5", "Crash", point="after_execute")
         run_root_transaction(s)
         # AP5 -> AP6; AP3 -> AP4; AP1 -> AP2 (three Abort notifications)
-        assert s.metrics.get("messages.AbortMessage") == 3
+        assert s.metrics.get("messages.abort") == 3
         assert s.metrics.get("aborts_received") == 3
 
     def test_fault_handler_at_ap3_stops_propagation(self):

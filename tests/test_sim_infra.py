@@ -66,7 +66,7 @@ class TestMetrics:
         metrics.record_detection("P", "Q", 1.0, 1.5)
         metrics.record_detection("P", "R", 1.0, 1.2)
         assert metrics.detection_latency("P") == pytest.approx(0.2)
-        assert metrics.detection_latency("ghost") == float("inf")
+        assert metrics.detection_latency("ghost") is None
 
     def test_outcome_counts(self):
         metrics = MetricsCollector()
