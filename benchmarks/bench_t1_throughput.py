@@ -1,0 +1,43 @@
+"""T1 — commit throughput under concurrent load.
+
+Drives the OCC cluster with the concurrent transaction scheduler in
+closed-loop mode and sweeps concurrency (clients) x contention
+(hot-spot fraction) x failure rate.  The table shows how conflict
+retries and terminal aborts grow with in-flight transactions, and what
+that costs in commit throughput and arrival-to-commit latency.
+
+Run:  python benchmarks/bench_t1_throughput.py [--smoke] [--seed N]
+
+Everything is seeded: the same seed produces a byte-identical table and
+JSON artifact on every run, independent of PYTHONHASHSEED.
+"""
+
+import argparse
+
+from repro.sim.throughput import demo_conflict_retry, throughput_sweep
+
+from _util import publish, publish_json
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast sweep (used by CI)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    table = throughput_sweep(seed=args.seed, smoke=args.smoke)
+    suffix = "_smoke" if args.smoke else ""
+    publish(table, f"t1_throughput{suffix}.txt")
+    path = publish_json(
+        table,
+        f"t1_throughput{suffix}.json",
+        seed=args.seed,
+        smoke=args.smoke,
+        conflict_retry_demo=demo_conflict_retry(seed=11),
+    )
+    print(f"\njson artifact written: {path}")
+
+
+if __name__ == "__main__":
+    main()

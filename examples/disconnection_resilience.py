@@ -7,7 +7,7 @@ with the naive (no-chaining) baseline where the contrast matters.
 Run:  python examples/disconnection_resilience.py
 """
 
-from repro.sim.scenarios import build_fig2, run_root_transaction
+from repro.api import Cluster
 from repro.txn.disconnection import (
     run_case_c_child_disconnection,
     run_case_d_sibling_disconnection,
@@ -16,7 +16,7 @@ from repro.txn.recovery import DISCONNECT_FAULT, FaultPolicy
 
 
 def fig2_with_replacement(chaining: bool):
-    scenario = build_fig2(extra_peers=("APX",), chaining=chaining)
+    scenario = Cluster.fig2(extra_peers=("APX",), chaining=chaining)
     scenario.replication.replicate_service("S3", "APX")
     scenario.replication.replicate_document("D3", "APX")
     scenario.peer("AP2").set_fault_policy(
@@ -32,9 +32,9 @@ def main() -> None:
 
     # ---------------------------------------------------------- case (a)
     print("case (a): leaf AP6 disconnected, detected by parent AP3's invoke")
-    s = build_fig2()
+    s = Cluster.fig2()
     s.network.disconnect("AP6")
-    txn, err = run_root_transaction(s)
+    txn, err = s.run_topology()
     print(f"  origin saw: {type(err).__name__}")
     latency = s.metrics.detection_latency("AP6")
     detected = f"{latency:.3f}s" if latency is not None else "never detected"
@@ -45,7 +45,7 @@ def main() -> None:
     for chaining in (True, False):
         s = fig2_with_replacement(chaining)
         s.injector.disconnect_peer_during("AP3", "AP6", "S6", "after_local_work")
-        txn, err = run_root_transaction(s)
+        txn, err = s.run_topology()
         label = "chaining" if chaining else "naive   "
         print(f"  [{label}] recovered={err is None} "
               f"redirected={s.metrics.get('results_redirected')} "
@@ -57,8 +57,8 @@ def main() -> None:
     # ---------------------------------------------------------- case (c)
     print("case (c): AP3 dies quietly; parent AP2 detects via ping")
     for chaining in (True, False):
-        s = build_fig2(chaining=chaining)
-        txn, _ = run_root_transaction(s)
+        s = Cluster.fig2(chaining=chaining)
+        txn, _ = s.run_topology()
         s.peer("AP6").add_pending_work(txn.txn_id, units=20, unit_duration=0.05)
         if not chaining:
             s.peer("AP6").known_doomed.add(txn.txn_id)  # ground truth
@@ -72,8 +72,8 @@ def main() -> None:
 
     # ---------------------------------------------------------- case (d)
     print("case (d): sibling AP4 notices AP3's data stream went silent")
-    s = build_fig2()
-    txn, _ = run_root_transaction(s)
+    s = Cluster.fig2()
+    txn, _ = s.run_topology()
     s.network.disconnect("AP3")
     report = run_case_d_sibling_disconnection(s.peer("AP4"), txn.txn_id, "AP3")
     print(f"  AP4 notified AP3's parent and children: "

@@ -7,7 +7,7 @@ message flows the paper describes in prose.
 Run:  python examples/protocol_transcripts.py
 """
 
-from repro.sim.scenarios import build_fig1, build_fig2, run_root_transaction
+from repro.api import Cluster
 from repro.sim.trace import TraceRecorder
 from repro.txn.recovery import FaultPolicy
 
@@ -21,18 +21,18 @@ def banner(title: str) -> None:
 
 def main() -> None:
     banner("1. Fig.1, happy path — nested invocation, depth-first")
-    scenario = build_fig1()
+    scenario = Cluster.fig1()
     recorder = TraceRecorder(scenario.network)
-    txn, _ = run_root_transaction(scenario)
-    scenario.peer("AP1").commit(txn.txn_id)
+    txn, _ = scenario.run_topology()
+    txn.commit()
     print(recorder.transcript())
     print("\n(every result returns inside-out; commit notifies all 5 participants)")
 
     banner("2. Fig.1, AP5 fails while processing S5 — §3.2 steps 1-4")
-    scenario = build_fig1()
+    scenario = Cluster.fig1()
     recorder = TraceRecorder(scenario.network)
     scenario.injector.fault_service("AP5", "S5", "Crash", point="after_execute")
-    run_root_transaction(scenario)
+    scenario.run_topology()
     print(recorder.transcript())
     print(
         "\n(step 1: AP5 aborts and notifies AP6; the fault unwinds to AP3;\n"
@@ -40,14 +40,14 @@ def main() -> None:
     )
 
     banner("3. Fig.1, same failure with a retry handler at AP3 — forward recovery")
-    scenario = build_fig1()
+    scenario = Cluster.fig1()
     recorder = TraceRecorder(scenario.network)
     scenario.injector.fault_service("AP5", "S5", "Crash", times=1, point="after_execute")
     scenario.peer("AP3").set_fault_policy(
         "S5", [FaultPolicy(fault_names={"Crash"}, retry_times=1)]
     )
-    txn, _ = run_root_transaction(scenario)
-    scenario.peer("AP1").commit(txn.txn_id)
+    txn, _ = scenario.run_topology()
+    txn.commit()
     print(recorder.transcript())
     print(
         "\n(only the failed S5/S6 subtree aborts and re-runs; AP1 and AP2 never\n"
@@ -55,10 +55,10 @@ def main() -> None:
     )
 
     banner("4. Fig.2, AP3 dies while AP6 processes S6 — §3.3(b) chaining")
-    scenario = build_fig2()
+    scenario = Cluster.fig2()
     recorder = TraceRecorder(scenario.network)
     scenario.injector.disconnect_peer_during("AP3", "AP6", "S6", "after_local_work")
-    run_root_transaction(scenario)
+    scenario.run_topology()
     print(recorder.transcript())
     print(
         "\n(AP6 cannot return S6's results to dead AP3: the chain routes a\n"

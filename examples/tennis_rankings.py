@@ -12,7 +12,8 @@ mode).  The script walks through the §3.1 worked examples:
 Run:  python examples/tennis_rankings.py
 """
 
-from repro.sim.scenarios import QUERY_A, QUERY_B, build_atplist_scenario
+from repro.api import Cluster
+from repro.sim.scenarios import QUERY_A, QUERY_B
 from repro.xmlstore.serializer import canonical
 
 
@@ -23,7 +24,7 @@ def show(title: str, text: str) -> None:
 
 
 def main() -> None:
-    scenario = build_atplist_scenario()
+    scenario = Cluster.atplist()
     ap1 = scenario.peer("AP1")
     atplist = ap1.get_axml_document("ATPList")
     pristine = canonical(atplist.document)

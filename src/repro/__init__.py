@@ -9,21 +9,26 @@ chaining.
 
 Quickstart
 ----------
->>> from repro import AXMLPeer, SimNetwork, AXMLDocument
->>> network = SimNetwork()
->>> peer = AXMLPeer("AP1", network)
->>> doc = peer.host_document(AXMLDocument.from_xml("<Shop><items/></Shop>"))
->>> txn = peer.begin_transaction()
->>> _ = peer.submit(txn.txn_id, '<action type="insert">'
+The :mod:`repro.api` facade (``Cluster`` → ``Session`` →
+``Transaction``) is the documented entry point:
+
+>>> from repro.api import Cluster
+>>> cluster = Cluster()
+>>> _ = cluster.add_peer("AP1")
+>>> doc = cluster.host_document("AP1", "<Shop><items/></Shop>", name="Shop")
+>>> txn = cluster.session("AP1").transaction()
+>>> _ = txn.submit('<action type="insert">'
 ...     '<data><item>42</item></data>'
 ...     '<location>Select s from s in Shop//items;</location></action>')
->>> peer.abort(txn.txn_id)   # dynamic compensation undoes the insert
+>>> txn.abort()   # dynamic compensation undoes the insert
 True
 >>> doc.to_xml()
 '<Shop><items/></Shop>'
 
-See ``examples/`` for full scenarios and ``DESIGN.md`` for the module
-inventory.
+``Transaction`` is also a context manager (commit on clean exit, abort
+on exception), and :meth:`Cluster.scheduler` attaches the concurrent
+multi-transaction engine.  See ``examples/`` for full scenarios and
+``DESIGN.md`` for the module inventory.
 """
 
 __version__ = "1.0.0"
@@ -65,8 +70,15 @@ from repro.txn import (
     compensate_records,
 )
 from repro.txn.recovery import DISCONNECT_FAULT, FaultPolicy
+from repro.outcome import Outcome, OutcomeStatus
+from repro.api import Cluster, Session
 
 __all__ = [
+    # facade (repro.api)
+    "Cluster",
+    "Session",
+    "Outcome",
+    "OutcomeStatus",
     "__version__",
     # errors
     "ReproError",

@@ -1,0 +1,438 @@
+"""The unified entry point: ``Cluster`` → ``Session`` → ``Transaction``.
+
+Everything a test, benchmark or example needs to drive the simulated
+AXML P2P system lives behind three small classes:
+
+* :class:`Cluster` — builds and owns a deployment: the network, the
+  failure injector, replication, and the peers.  Classmethods construct
+  the paper's canonical deployments (:meth:`Cluster.atplist`,
+  :meth:`Cluster.fig1`, :meth:`Cluster.fig2`,
+  :meth:`Cluster.from_topology`); :meth:`Cluster.scheduler` attaches the
+  concurrent transaction engine.
+* :class:`Session` — a client's view of one peer.
+* :class:`Transaction` — a live root transaction, usable as a context
+  manager: commit on clean exit, abort on exception.
+
+Quickstart::
+
+    from repro.api import Cluster
+
+    cluster = Cluster.atplist()
+    with cluster.session("AP1").transaction() as txn:
+        txn.submit('<action type="query"><location>'
+                   "Select p/points from p in ATPList//player;"
+                   "</location></action>")
+    # exiting the with-block committed the transaction
+
+The legacy entry points (``repro.sim.scenarios.build_*`` and
+``run_root_transaction``) still work but emit ``DeprecationWarning`` and
+delegate here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.axml.document import AXMLDocument
+from repro.outcome import Outcome, OutcomeStatus
+from repro.p2p.failure import FailureInjector
+from repro.p2p.network import SimNetwork
+from repro.p2p.peer import AXMLPeer
+from repro.p2p.replication import ReplicationManager
+from repro.services.descriptor import ParamSpec, ServiceDescriptor
+from repro.services.service import DelegatingService, FunctionService, Service
+from repro.sim.scheduler import TransactionScheduler
+from repro.txn.operations import OperationOutcome
+from repro.txn.recovery import FaultPolicy
+
+__all__ = ["Cluster", "Session", "Transaction", "Outcome", "OutcomeStatus"]
+
+#: peer → list of (child_peer, method) it invokes, the topology shape.
+Topology = Dict[str, List[Tuple[str, str]]]
+
+
+class Transaction:
+    """A live root transaction on one peer, with context-manager ergonomics.
+
+    Created through :meth:`Session.transaction`.  On clean ``with`` exit
+    the transaction commits; if the block raises, it aborts (backward
+    recovery) and the exception propagates.  :meth:`commit` /
+    :meth:`abort` may also be called explicitly — the exit handler is
+    idempotent and will not double-finish.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        peer: AXMLPeer,
+        _adopt=None,
+        **span_attrs: str,
+    ):
+        self._cluster = cluster
+        self._peer = peer
+        self.txn = _adopt if _adopt is not None else peer.begin_transaction(**span_attrs)
+        self._done = False
+
+    # -- identity -------------------------------------------------------
+
+    @property
+    def txn_id(self) -> str:
+        return self.txn.txn_id
+
+    @property
+    def origin(self) -> str:
+        return self._peer.peer_id
+
+    # -- work -----------------------------------------------------------
+
+    def submit(
+        self,
+        action,
+        document_name: Optional[str] = None,
+        evaluation: str = "lazy",
+    ) -> OperationOutcome:
+        """Execute one local operation (an ``UpdateAction`` or its XML)."""
+        return self._peer.submit(self.txn_id, action, document_name, evaluation)
+
+    def invoke(
+        self,
+        target_peer: str,
+        method_name: str,
+        params: Optional[Dict[str, str]] = None,
+        policies: Optional[Sequence[FaultPolicy]] = None,
+    ) -> Outcome:
+        """Invoke a service on another peer; returns a unified Outcome."""
+        fragments = self._peer.invoke(
+            self.txn_id, target_peer, method_name, params, policies
+        )
+        return Outcome(tuple(fragments), provider_peer=target_peer)
+
+    # -- finishing ------------------------------------------------------
+
+    def commit(self) -> None:
+        """Origin-side commit.  Under OCC this may raise
+        :class:`~repro.txn.occ.ValidationConflict`; the transaction is
+        then already aborted and compensated — retry with a fresh one."""
+        self._done = True
+        self._peer.commit(self.txn_id)
+
+    def abort(self) -> bool:
+        """Origin-initiated abort; True if compensation fully ran."""
+        self._done = True
+        return self._peer.abort(self.txn_id)
+
+    @property
+    def finished(self) -> bool:
+        return self._done
+
+    # -- context manager ------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._done:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False  # never suppress
+
+    def __repr__(self) -> str:
+        state = "finished" if self._done else "active"
+        return f"Transaction({self.txn_id!r} @ {self.origin}, {state})"
+
+
+class Session:
+    """A client's handle on one peer of a cluster."""
+
+    def __init__(self, cluster: "Cluster", peer_id: str):
+        self._cluster = cluster
+        self.peer_id = peer_id
+
+    @property
+    def peer(self) -> AXMLPeer:
+        return self._cluster.peer(self.peer_id)
+
+    def transaction(self, **span_attrs: str) -> Transaction:
+        """Begin a transaction with this peer as origin."""
+        return Transaction(self._cluster, self.peer, **span_attrs)
+
+    begin = transaction  # explicit-style alias
+
+    def __repr__(self) -> str:
+        return f"Session({self.peer_id!r})"
+
+
+class Cluster:
+    """One simulated AXML deployment: network + peers + services.
+
+    Build empty and populate (:meth:`add_peer`, :meth:`host_document`,
+    :meth:`host_service`), or use a canonical constructor
+    (:meth:`atplist`, :meth:`fig1`, :meth:`fig2`,
+    :meth:`from_topology`).
+    """
+
+    def __init__(self, hop_latency: float = 0.005):
+        self.network = SimNetwork(hop_latency=hop_latency)
+        self.injector = FailureInjector(self.network)
+        self.replication = ReplicationManager(self.network)
+        self.peers: Dict[str, AXMLPeer] = {}
+        #: invocation topology: peer → list of (child_peer, method).
+        self.topology: Topology = {}
+
+    # -- building -------------------------------------------------------
+
+    def add_peer(self, peer_id: str, **peer_kwargs) -> AXMLPeer:
+        """Create and register a peer; keyword args go to AXMLPeer."""
+        peer_kwargs.setdefault("injector", self.injector)
+        peer = AXMLPeer(peer_id, self.network, **peer_kwargs)
+        self.peers[peer_id] = peer
+        return peer
+
+    def host_document(
+        self,
+        peer_id: str,
+        document: Union[AXMLDocument, str],
+        name: Optional[str] = None,
+    ) -> AXMLDocument:
+        """Host a document (an AXMLDocument, or its XML text + name)."""
+        if isinstance(document, str):
+            if name is None:
+                raise ValueError("hosting XML text needs an explicit name=")
+            document = AXMLDocument.from_xml(document, name=name)
+        self.peer(peer_id).host_document(document)
+        self.replication.register_primary(document.name, peer_id)
+        return document
+
+    def host_service(self, peer_id: str, service: Service) -> Service:
+        self.peer(peer_id).host_service(service)
+        self.replication.register_service(service.descriptor.method_name, peer_id)
+        return service
+
+    # -- access ---------------------------------------------------------
+
+    def peer(self, peer_id: str) -> AXMLPeer:
+        try:
+            return self.peers[peer_id]
+        except KeyError:
+            raise KeyError(
+                f"cluster has no peer {peer_id!r}; add_peer() it first"
+            )
+
+    def session(self, peer_id: str) -> Session:
+        """A client session on one peer — the transaction entry point."""
+        self.peer(peer_id)  # fail fast on unknown peers
+        return Session(self, peer_id)
+
+    @property
+    def metrics(self):
+        return self.network.metrics
+
+    @property
+    def spans(self):
+        return self.network.spans
+
+    @property
+    def clock(self):
+        return self.network.clock
+
+    @property
+    def events(self):
+        return self.network.events
+
+    # -- driving --------------------------------------------------------
+
+    def run_until(self, deadline: float, max_events: int = 100_000) -> int:
+        """Fire scheduled events up to *deadline* virtual seconds."""
+        return self.network.events.run_until(deadline, max_events)
+
+    def run_all(self, max_events: int = 100_000) -> int:
+        """Fire every pending scheduled event."""
+        return self.network.events.run_all(max_events)
+
+    def scheduler(self, **scheduler_kwargs) -> TransactionScheduler:
+        """A concurrent multi-transaction scheduler over this cluster."""
+        return TransactionScheduler(self.network, **scheduler_kwargs)
+
+    def run_topology(self, root: str = "AP1") -> Tuple[Transaction, Optional[Exception]]:
+        """Begin a transaction at *root* and fire its topology invocations.
+
+        Returns ``(transaction, error)`` — *error* is the exception that
+        reached the origin when recovery ended backward, else None.  The
+        transaction is left open on success so the caller decides
+        commit/abort.
+        """
+        origin = self.peer(root)
+        handle = Transaction(self, origin)
+        error: Optional[Exception] = None
+        try:
+            for child, method in self.topology.get(root, []):
+                handle.invoke(child, method, {})
+        except Exception as exc:  # noqa: BLE001 - driver reports it
+            error = exc
+        return handle, error
+
+    # -- canonical deployments -----------------------------------------
+
+    @classmethod
+    def atplist(
+        cls,
+        peer_independent: bool = False,
+        chaining: bool = True,
+        points_value: str = "890",
+    ) -> "Cluster":
+        """The §3.1 running example: AP1 hosts ATPList.xml; AP2 serves
+        getPoints; AP3 serves getGrandSlamsWonbyYear."""
+        from repro.sim.scenarios import ATPLIST_XML
+
+        cluster = cls()
+        for peer_id in ("AP1", "AP2", "AP3"):
+            cluster.add_peer(
+                peer_id, peer_independent=peer_independent, chaining=chaining
+            )
+        cluster.host_document(
+            "AP1", AXMLDocument.from_xml(ATPLIST_XML, name="ATPList")
+        )
+        cluster.host_service(
+            "AP2",
+            FunctionService(
+                ServiceDescriptor(
+                    "getPoints",
+                    kind="function",
+                    params=(ParamSpec("name"),),
+                    result_name="points",
+                    compensatable=False,
+                ),
+                body=lambda params: [f"<points>{points_value}</points>"],
+            ),
+        )
+        cluster.host_service(
+            "AP3",
+            FunctionService(
+                ServiceDescriptor(
+                    "getGrandSlamsWonbyYear",
+                    kind="function",
+                    params=(ParamSpec("name"), ParamSpec("year")),
+                    result_name="grandslamswon",
+                    compensatable=False,
+                ),
+                body=lambda params: [
+                    f'<grandslamswon year="{params["year"]}">A, F</grandslamswon>'
+                ],
+            ),
+        )
+        return cluster
+
+    @classmethod
+    def from_topology(
+        cls,
+        topology: Topology,
+        super_peers: Sequence[str] = ("AP1",),
+        peer_independent: bool = False,
+        chaining: bool = True,
+        chain_scope: str = "immediate",
+        parent_watch_interval: Optional[float] = None,
+        hop_latency: float = 0.005,
+        extra_peers: Sequence[str] = (),
+    ) -> "Cluster":
+        """A cluster for an arbitrary invocation topology.
+
+        Every mentioned peer gets a document ``D<i>`` and a delegating
+        service ``S<i>`` (local marker insert, then child invocations in
+        topology order); ``extra_peers`` creates idle peers for
+        recovery/replica experiments.
+        """
+        from repro.sim.scenarios import _marker_action, _peer_document
+
+        cluster = cls(hop_latency=hop_latency)
+        peer_ids: List[str] = []
+        for parent, children in topology.items():
+            if parent not in peer_ids:
+                peer_ids.append(parent)
+            for child, _ in children:
+                if child not in peer_ids:
+                    peer_ids.append(child)
+        for extra in extra_peers:
+            if extra not in peer_ids:
+                peer_ids.append(extra)
+
+        for peer_id in peer_ids:
+            cluster.add_peer(
+                peer_id,
+                super_peer=peer_id in super_peers,
+                peer_independent=peer_independent,
+                chaining=chaining,
+                chain_scope=chain_scope,
+                parent_watch_interval=parent_watch_interval,
+            )
+            cluster.host_document(
+                peer_id,
+                AXMLDocument.from_xml(
+                    _peer_document(peer_id), name=f"D{peer_id[2:]}"
+                ),
+            )
+
+        for peer_id in peer_ids:
+            method = f"S{peer_id[2:]}"
+            cluster.host_service(
+                peer_id,
+                DelegatingService(
+                    ServiceDescriptor(
+                        method,
+                        kind="delegating",
+                        target_document=f"D{peer_id[2:]}",
+                        result_name="entry",
+                    ),
+                    delegations=topology.get(peer_id, []),
+                    local_action_template=_marker_action(peer_id),
+                    extra_fragments=(
+                        f'<done by="{peer_id}" method="{method}"/>',
+                    ),
+                ),
+            )
+        cluster.topology = dict(topology)
+        return cluster
+
+    @classmethod
+    def fig1(cls, **kwargs) -> "Cluster":
+        """Fig. 1's deployment (6 peers, nested invocations)."""
+        from repro.sim.scenarios import FIG1_TOPOLOGY
+
+        return cls.from_topology(FIG1_TOPOLOGY, **kwargs)
+
+    @classmethod
+    def fig2(cls, **kwargs) -> "Cluster":
+        """Fig. 2's deployment (AP1 is a super peer, per the chain)."""
+        from repro.sim.scenarios import FIG2_TOPOLOGY
+
+        kwargs.setdefault("super_peers", ("AP1",))
+        return cls.from_topology(FIG2_TOPOLOGY, **kwargs)
+
+    # -- bridging to/from the legacy Scenario shape --------------------
+
+    @classmethod
+    def wrap(cls, scenario) -> "Cluster":
+        """Adopt a legacy :class:`~repro.sim.scenarios.Scenario`."""
+        cluster = cls.__new__(cls)
+        cluster.network = scenario.network
+        cluster.injector = scenario.injector
+        cluster.replication = scenario.replication
+        cluster.peers = dict(scenario.peers)
+        cluster.topology = dict(scenario.topology)
+        return cluster
+
+    def as_scenario(self):
+        """This cluster in the legacy Scenario shape (for old callers)."""
+        from repro.sim.scenarios import Scenario
+
+        return Scenario(
+            self.network,
+            self.injector,
+            dict(self.peers),
+            self.replication,
+            dict(self.topology),
+        )
+
+    def __repr__(self) -> str:
+        return f"Cluster(peers={sorted(self.peers)})"

@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.axml.document import AXMLDocument
 from repro.axml.service_call import ServiceCall
 from repro.errors import MaterializationError
+from repro.outcome import Outcome
 from repro.query.ast import SelectQuery
 from repro.query.update import ChangeRecord, InsertRecord, detach_to_record
 from repro.xmlstore.nodes import Element
@@ -28,20 +29,9 @@ from repro.xmlstore.parser import parse_fragment
 from repro.xmlstore.path import NULL_METER, TraversalMeter
 
 
-@dataclass
-class InvocationOutcome:
-    """What a service invocation returns.
-
-    ``fragments`` are serialized XML results (possibly containing further
-    ``axml:sc`` elements — nested invocation).  ``compensating_definition``
-    is the optional peer-independent compensating-service definition the
-    paper's §3.2 variation sends back "along with the invocation
-    results"; the transactional layer stores it.
-    """
-
-    fragments: Sequence[str] = field(default_factory=tuple)
-    compensating_definition: Optional[str] = None
-    provider_peer: str = ""
+#: The unified result shape (see :mod:`repro.outcome`).  The old name
+#: ``InvocationOutcome`` remains importable here as a deprecated alias.
+InvocationOutcome = Outcome
 
 
 #: Resolver signature: (call, materialized parameter values) → outcome.

@@ -8,6 +8,9 @@ Examples::
     python -m repro fig2 --case b --no-chaining
     python -m repro spheres --super-fraction 0.5 --transactions 500
     python -m repro report --scenario fig1 --fault AP5:S5 --json-out run.json
+    python -m repro bench --smoke
+
+All commands drive the :mod:`repro.api` facade.
 """
 
 from __future__ import annotations
@@ -16,46 +19,39 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.sim.scenarios import (
-    QUERY_A,
-    QUERY_B,
-    build_atplist_scenario,
-    build_fig1,
-    build_fig2,
-    run_root_transaction,
-)
+from repro.api import Cluster
+from repro.sim.scenarios import QUERY_A, QUERY_B
 from repro.txn.recovery import DISCONNECT_FAULT, FaultPolicy
 
 
-def _print_metrics(scenario) -> None:
+def _print_metrics(cluster) -> None:
     print("\nmetrics:")
-    for key, value in sorted(scenario.metrics.snapshot().items()):
+    for key, value in sorted(cluster.metrics.snapshot().items()):
         print(f"  {key} = {value}")
-    if scenario.metrics.txn_outcomes:
-        print(f"  outcomes = {scenario.metrics.txn_outcomes}")
+    if cluster.metrics.txn_outcomes:
+        print(f"  outcomes = {cluster.metrics.txn_outcomes}")
 
 
 def cmd_atplist(args: argparse.Namespace) -> int:
     """Run a §3.1 worked-example query, optionally aborting it."""
-    scenario = build_atplist_scenario()
-    peer = scenario.peer("AP1")
-    document = peer.get_axml_document("ATPList")
+    cluster = Cluster.atplist()
+    document = cluster.peer("AP1").get_axml_document("ATPList")
     query = QUERY_A if args.query == "A" else QUERY_B
-    txn = peer.begin_transaction()
-    outcome = peer.submit(
-        txn.txn_id, f'<action type="query"><location>{query}</location></action>'
+    txn = cluster.session("AP1").transaction()
+    outcome = txn.submit(
+        f'<action type="query"><location>{query}</location></action>'
     )
     print(f"query {args.query}: {query}")
     print("materialized:", outcome.materialization.methods())
     print("results:", outcome.query_result.texts())
     if args.abort:
-        peer.abort(txn.txn_id)
+        txn.abort()
         print("aborted: document restored by dynamic compensation")
     else:
-        peer.commit(txn.txn_id)
+        txn.commit()
     print("\ndocument now:")
     print(document.to_pretty())
-    _print_metrics(scenario)
+    _print_metrics(cluster)
     return 0
 
 
@@ -68,25 +64,25 @@ def _parse_peer_method(raw: str) -> tuple:
 
 def cmd_fig1(args: argparse.Namespace) -> int:
     """Run the Fig. 1 nested-recovery scenario with optional fault/handler."""
-    scenario = build_fig1(chaining=not args.no_chaining)
+    cluster = Cluster.fig1(chaining=not args.no_chaining)
     if args.fault:
         peer_id, method = _parse_peer_method(args.fault)
-        scenario.injector.fault_service(
+        cluster.injector.fault_service(
             peer_id, method, "Crash", point="after_execute"
         )
     if args.handler:
         peer_id, method = _parse_peer_method(args.handler)
-        scenario.peer(peer_id).set_fault_policy(
+        cluster.peer(peer_id).set_fault_policy(
             method, [FaultPolicy(fault_names={"Crash"}, retry_times=2)]
         )
-    txn, error = run_root_transaction(scenario)
+    txn, error = cluster.run_topology()
     print("Fig.1 run:", "recovered/committed" if error is None else f"aborted ({error})")
     if error is None:
-        scenario.peer("AP1").commit(txn.txn_id)
-    for peer_id, peer in scenario.peers.items():
+        txn.commit()
+    for peer_id, peer in cluster.peers.items():
         doc = peer.get_axml_document(f"D{peer_id[2:]}")
         print(f"  {peer_id}: {doc.to_xml()}")
-    _print_metrics(scenario)
+    _print_metrics(cluster)
     return 0 if error is None else 1
 
 
@@ -99,37 +95,37 @@ def cmd_fig2(args: argparse.Namespace) -> int:
 
     chaining = not args.no_chaining
     if args.case == "b":
-        scenario = build_fig2(extra_peers=("APX",), chaining=chaining)
-        scenario.replication.replicate_service("S3", "APX")
-        scenario.replication.replicate_document("D3", "APX")
-        scenario.peer("AP2").set_fault_policy(
+        cluster = Cluster.fig2(extra_peers=("APX",), chaining=chaining)
+        cluster.replication.replicate_service("S3", "APX")
+        cluster.replication.replicate_document("D3", "APX")
+        cluster.peer("AP2").set_fault_policy(
             "S3",
             [FaultPolicy(fault_names={DISCONNECT_FAULT}, retry_times=1,
                          alternative_peer="APX")],
         )
-        scenario.injector.disconnect_peer_during("AP3", "AP6", "S6", "after_local_work")
-        txn, error = run_root_transaction(scenario)
+        cluster.injector.disconnect_peer_during("AP3", "AP6", "S6", "after_local_work")
+        txn, error = cluster.run_topology()
         print(f"case (b) [{'chaining' if chaining else 'naive'}]: "
               f"recovered={error is None}")
     elif args.case == "c":
-        scenario = build_fig2(chaining=chaining)
-        txn, _ = run_root_transaction(scenario)
-        scenario.peer("AP6").add_pending_work(txn.txn_id, units=20, unit_duration=0.05)
+        cluster = Cluster.fig2(chaining=chaining)
+        txn, _ = cluster.run_topology()
+        cluster.peer("AP6").add_pending_work(txn.txn_id, units=20, unit_duration=0.05)
         if not chaining:
-            scenario.peer("AP6").known_doomed.add(txn.txn_id)
-        scenario.network.disconnect("AP3")
-        report = run_case_c_child_disconnection(scenario.peer("AP2"), txn.txn_id)
-        scenario.network.events.run_until(scenario.network.clock.now + 5.0)
+            cluster.peer("AP6").known_doomed.add(txn.txn_id)
+        cluster.network.disconnect("AP3")
+        report = run_case_c_child_disconnection(cluster.peer("AP2"), txn.txn_id)
+        cluster.run_until(cluster.clock.now + 5.0)
         print(f"case (c) [{'chaining' if chaining else 'naive'}]: "
               f"informed={report.descendants_informed}")
     else:  # d
-        scenario = build_fig2(chaining=chaining)
-        txn, _ = run_root_transaction(scenario)
-        scenario.network.disconnect("AP3")
-        report = run_case_d_sibling_disconnection(scenario.peer("AP4"), txn.txn_id, "AP3")
+        cluster = Cluster.fig2(chaining=chaining)
+        txn, _ = cluster.run_topology()
+        cluster.network.disconnect("AP3")
+        report = run_case_d_sibling_disconnection(cluster.peer("AP4"), txn.txn_id, "AP3")
         print(f"case (d) [{'chaining' if chaining else 'naive'}]: "
               f"relatives informed={report.descendants_informed}")
-    _print_metrics(scenario)
+    _print_metrics(cluster)
     return 0
 
 
@@ -167,40 +163,52 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import render_report, write_json_artifact
 
     if args.scenario == "fig1":
-        scenario = build_fig1(chaining=not args.no_chaining)
+        cluster = Cluster.fig1(chaining=not args.no_chaining)
         if args.fault:
             peer_id, method = _parse_peer_method(args.fault)
-            scenario.injector.fault_service(
+            cluster.injector.fault_service(
                 peer_id, method, "Crash", point="after_execute"
             )
         if args.handler:
             peer_id, method = _parse_peer_method(args.handler)
-            scenario.peer(peer_id).set_fault_policy(
+            cluster.peer(peer_id).set_fault_policy(
                 method, [FaultPolicy(fault_names={"Crash"}, retry_times=2)]
             )
-        txn, error = run_root_transaction(scenario)
+        txn, error = cluster.run_topology()
         if error is None:
-            scenario.peer("AP1").commit(txn.txn_id)
+            txn.commit()
         title = "fig1 nested recovery"
     else:
-        scenario = build_fig2(chaining=not args.no_chaining)
-        scenario.injector.disconnect_peer_during(
+        cluster = Cluster.fig2(chaining=not args.no_chaining)
+        cluster.injector.disconnect_peer_during(
             "AP3", "AP6", "S6", "after_local_work"
         )
-        run_root_transaction(scenario)
+        cluster.run_topology()
         title = "fig2 disconnection (case b window)"
 
-    spans = scenario.network.spans
-    print(render_report(scenario.metrics, spans, title=f"repro report: {title}"))
+    spans = cluster.spans
+    print(render_report(cluster.metrics, spans, title=f"repro report: {title}"))
     if args.json_out:
         write_json_artifact(
             args.json_out,
             {
                 "scenario": args.scenario,
-                "metrics": scenario.metrics.to_dict(),
+                "metrics": cluster.metrics.to_dict(),
                 "spans": spans.to_dict(),
             },
         )
+        print(f"\njson artifact written: {args.json_out}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the T1 throughput sweep and print its table."""
+    from repro.sim.throughput import throughput_sweep
+
+    table = throughput_sweep(seed=args.seed, smoke=args.smoke)
+    print(table.render())
+    if args.json_out:
+        table.write_json(args.json_out)
         print(f"\njson artifact written: {args.json_out}")
     return 0
 
@@ -244,6 +252,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--json-out", metavar="PATH",
                        help="also write metrics + spans as a JSON artifact")
     p_rep.set_defaults(fn=cmd_report)
+
+    p_b = subparsers.add_parser(
+        "bench", help="run the T1 concurrent-throughput sweep"
+    )
+    p_b.add_argument("--smoke", action="store_true",
+                     help="small fast sweep (used by CI)")
+    p_b.add_argument("--seed", type=int, default=7)
+    p_b.add_argument("--json-out", metavar="PATH",
+                     help="also write the table as a JSON artifact")
+    p_b.set_defaults(fn=cmd_bench)
 
     p_sp = subparsers.add_parser("spheres", help="spheres-of-atomicity analysis")
     p_sp.add_argument("--super-fraction", type=float, default=0.5)

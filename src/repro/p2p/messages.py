@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import ClassVar, Dict, List, Optional, Sequence
 
+from repro.outcome import Outcome
+
 
 def message_kind(message: object) -> str:
     """The lowercase protocol name of *message* (``abort``, ``commit``, …).
@@ -52,28 +54,14 @@ class InvokeRequest:
     reused_fragments: Dict[str, List[str]] = field(default_factory=dict)
 
 
-@dataclass
-class InvokeResult:
-    """The reply to an :class:`InvokeRequest`.
-
-    ``compensations`` carries compensating-service definitions when
-    peer-independent compensation is enabled — ``(provider_peer,
-    plan_xml)`` pairs, the provider's own plus those accumulated from its
-    sub-invocations, so they reach the origin peer (§3.2: "the
-    compensating service definitions can also be sent to the origin peer
-    directly").
-    """
-
-    KIND: ClassVar[str] = "result"
-
-    fragments: List[str] = field(default_factory=list)
-    provider_peer: str = ""
-    compensations: List[tuple] = field(default_factory=list)
-    nodes_affected: int = 0
-    #: The provider's final chain view, merged back into the caller's so
-    #: later invocations piggyback the complete active-peer list (§3.3's
-    #: example chain includes sibling branches).
-    chain_text: str = ""
+#: The reply to an :class:`InvokeRequest` — now the unified, frozen
+#: :class:`repro.outcome.Outcome` (its ``KIND`` stays ``"result"``).
+#: ``compensations`` carries compensating-service definitions when
+#: peer-independent compensation is enabled — ``(provider_peer,
+#: plan_xml)`` pairs (§3.2); ``chain_text`` is the provider's final chain
+#: view, merged back into the caller's (§3.3).  The old name remains
+#: importable here as a deprecated alias.
+InvokeResult = Outcome
 
 
 @dataclass

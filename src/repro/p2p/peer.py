@@ -237,8 +237,16 @@ class AXMLPeer:
     # origin role: begin / submit / invoke / commit / abort
     # ------------------------------------------------------------------
 
-    def begin_transaction(self) -> Transaction:
-        """Begin a transaction with this peer as origin (§3.2)."""
+    def begin_transaction(
+        self, parent_span: Optional[Span] = None, **span_attrs: str
+    ) -> Transaction:
+        """Begin a transaction with this peer as origin (§3.2).
+
+        ``parent_span`` nests the transaction span under a caller-owned
+        span — the scheduler uses this to group retry attempts of one
+        logical client transaction as siblings; ``span_attrs`` (e.g.
+        ``attempt="2"``) are attached to the transaction span.
+        """
         transaction = Transaction.begin(self.peer_id)
         self.manager.begin(transaction)
         self.chains[transaction.txn_id] = PeerChain(self.peer_id, self.super_peer)
@@ -249,7 +257,9 @@ class AXMLPeer:
             "transaction",
             peer=self.peer_id,
             txn_id=transaction.txn_id,
+            parent=parent_span,
             detached=True,
+            **span_attrs,
         )
         return transaction
 
@@ -390,14 +400,39 @@ class AXMLPeer:
             spans.end(span, status=status)
 
     def commit(self, txn_id: str) -> None:
-        """Origin-side commit: release local state, tell participants."""
+        """Origin-side commit: release local state, tell participants.
+
+        Under OCC a commit may fail validation.  The conflict is
+        *surfaced*, not swallowed: the local share is already aborted and
+        compensated by the manager, the other participants are told to
+        abort theirs, the transaction is accounted as
+        ``aborted_conflict``, and the :class:`ValidationConflict`
+        re-raises so the caller (e.g. the scheduler) can back off and
+        retry with a fresh transaction.
+        """
+        from repro.txn.occ import ValidationConflict
+
         self._check_alive()
         context = self.manager.context(txn_id)
         if not context.is_origin:
             raise TransactionError(
                 f"peer {self.peer_id!r} is not the origin of {txn_id!r}"
             )
-        self.manager.commit_local(txn_id)
+        try:
+            self.manager.commit_local(txn_id)
+        except ValidationConflict:
+            chain = self.chains.get(txn_id)
+            for peer_id in (
+                [p for p in chain.peers() if p != self.peer_id] if chain else []
+            ):
+                self.network.notify(
+                    self.peer_id, peer_id, AbortMessage(txn_id, self.peer_id)
+                )
+            self._cancel_pending_work(txn_id)
+            self.network.metrics.incr("occ_conflicts")
+            self.network.metrics.record_txn_outcome(txn_id, "aborted_conflict")
+            self._end_txn_span(txn_id, "conflict")
+            raise
         chain = self.chains.get(txn_id)
         participants = (
             [p for p in chain.peers() if p != self.peer_id] if chain else []

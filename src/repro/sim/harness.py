@@ -8,8 +8,9 @@ across runs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.obs.export import stable_json, write_json_artifact
 
@@ -27,6 +28,15 @@ class ExperimentTable:
         unknown = set(values) - set(self.columns)
         if unknown:
             raise ValueError(f"unknown columns: {sorted(unknown)}")
+        for name, value in values.items():
+            # Non-finite floats must never reach a row: they would
+            # serialize as invalid JSON (Infinity/NaN).  Producers report
+            # absent measurements as None (rendered as a dash).
+            if isinstance(value, float) and not math.isfinite(value):
+                raise ValueError(
+                    f"non-finite value {value!r} for column {name!r}; "
+                    "use None for absent measurements"
+                )
         self.rows.append(values)
 
     def add_note(self, note: str) -> None:
@@ -42,8 +52,8 @@ class ExperimentTable:
             # dash; they are exported as JSON null, never Infinity.
             return "-"
         if isinstance(value, float):
-            if value == float("inf"):
-                return "inf"
+            # add_row rejects non-finite floats, so plain formatting is
+            # exhaustive here.
             return f"{value:.4g}"
         return str(value)
 
@@ -96,10 +106,14 @@ def sweep(
     return table
 
 
-def ratio(numerator: float, denominator: float) -> float:
-    """A safe ratio for table cells (0/0 → 1.0, x/0 → inf)."""
+def ratio(numerator: float, denominator: float) -> Optional[float]:
+    """A safe ratio for table cells (0/0 → 1.0, x/0 → None).
+
+    ``None`` (an undefined ratio) renders as a dash and exports as JSON
+    null — never ``inf``, which :meth:`ExperimentTable.add_row` rejects.
+    """
     if denominator == 0:
-        return 1.0 if numerator == 0 else float("inf")
+        return 1.0 if numerator == 0 else None
     return numerator / denominator
 
 

@@ -93,6 +93,30 @@ class EventQueue:
     def pending(self) -> int:
         return sum(1 for e in self._heap if not e.cancelled)
 
+    def next_time(self) -> Optional[float]:
+        """Virtual time of the next live event, or None when drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Fire exactly one event (the earliest live one).
+
+        Returns False when the queue is drained.  This is the
+        step-driven interleaving primitive the concurrent scheduler
+        builds on: each peer work unit is one event, so stepping the
+        queue interleaves the in-flight transactions deterministically
+        in (time, sequence) order.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            return True
+        return False
+
     def run_until(self, deadline: float, max_events: int = 100_000) -> int:
         """Fire events with time ≤ *deadline*; returns how many fired.
 

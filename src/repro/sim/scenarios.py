@@ -13,20 +13,24 @@ Every peer in the figure scenarios hosts a small document and a
 delegating service that inserts a marker entry locally before invoking
 its children — so each peer has real work to compensate, and "number of
 XML nodes affected" is a meaningful cost.
+
+The ``build_*`` functions and ``run_root_transaction`` are **deprecated
+shims**: construction now lives behind the :mod:`repro.api` facade
+(:class:`~repro.api.Cluster`), and these delegate to it with a
+``DeprecationWarning``.  The scenario *data* (ATPLIST_XML, the queries,
+the figure topologies) remains canonical here.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.axml.document import AXMLDocument
 from repro.p2p.failure import FailureInjector
 from repro.p2p.network import SimNetwork
 from repro.p2p.peer import AXMLPeer
 from repro.p2p.replication import ReplicationManager
-from repro.services.descriptor import ParamSpec, ServiceDescriptor
-from repro.services.service import DelegatingService, FunctionService
 from repro.sim.metrics import MetricsCollector
 
 #: The paper's running example (§3.1), verbatim in structure: two
@@ -98,13 +102,12 @@ class Scenario:
         return self.peers[peer_id]
 
 
-def _base(
-    hop_latency: float = 0.005,
-) -> Tuple[SimNetwork, FailureInjector, ReplicationManager]:
-    network = SimNetwork(hop_latency=hop_latency)
-    injector = FailureInjector(network)
-    replication = ReplicationManager(network)
-    return network, injector, replication
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (the repro.api facade) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -116,51 +119,16 @@ def build_atplist_scenario(
     chaining: bool = True,
     points_value: str = "890",
 ) -> Scenario:
-    """AP1 hosts ATPList.xml; AP2 serves getPoints; AP3 serves
-    getGrandSlamsWonbyYear — the §3.1 worked examples, distributed."""
-    network, injector, replication = _base()
-    peers: Dict[str, AXMLPeer] = {}
-    for peer_id in ("AP1", "AP2", "AP3"):
-        peers[peer_id] = AXMLPeer(
-            peer_id,
-            network,
-            peer_independent=peer_independent,
-            chaining=chaining,
-            injector=injector,
-        )
-    peers["AP1"].host_document(AXMLDocument.from_xml(ATPLIST_XML, name="ATPList"))
-    replication.register_primary("ATPList", "AP1")
+    """Deprecated shim: AP1 hosts ATPList.xml; AP2 serves getPoints; AP3
+    serves getGrandSlamsWonbyYear.  Use :meth:`repro.api.Cluster.atplist`."""
+    from repro.api import Cluster
 
-    peers["AP2"].host_service(
-        FunctionService(
-            ServiceDescriptor(
-                "getPoints",
-                kind="function",
-                params=(ParamSpec("name"),),
-                result_name="points",
-                compensatable=False,
-            ),
-            body=lambda params: [f"<points>{points_value}</points>"],
-        )
-    )
-    replication.register_service("getPoints", "AP2")
-
-    peers["AP3"].host_service(
-        FunctionService(
-            ServiceDescriptor(
-                "getGrandSlamsWonbyYear",
-                kind="function",
-                params=(ParamSpec("name"), ParamSpec("year")),
-                result_name="grandslamswon",
-                compensatable=False,
-            ),
-            body=lambda params: [
-                f'<grandslamswon year="{params["year"]}">A, F</grandslamswon>'
-            ],
-        )
-    )
-    replication.register_service("getGrandSlamsWonbyYear", "AP3")
-    return Scenario(network, injector, peers, replication)
+    _deprecated("build_atplist_scenario()", "Cluster.atplist()")
+    return Cluster.atplist(
+        peer_independent=peer_independent,
+        chaining=chaining,
+        points_value=points_value,
+    ).as_scenario()
 
 
 # ---------------------------------------------------------------------------
@@ -207,83 +175,50 @@ def build_topology(
     hop_latency: float = 0.005,
     extra_peers: Sequence[str] = (),
 ) -> Scenario:
-    """Build a scenario for an arbitrary invocation topology.
+    """Deprecated shim: build a scenario for an arbitrary invocation
+    topology.  Use :meth:`repro.api.Cluster.from_topology`."""
+    from repro.api import Cluster
 
-    Every mentioned peer gets a document ``D<i>`` and a service ``S<i>``
-    (a :class:`DelegatingService` doing local work, then invoking its
-    children in topology order).  ``extra_peers`` creates idle peers
-    (replacement/replica targets for recovery experiments).
-    """
-    network, injector, replication = _base(hop_latency)
-    peer_ids: List[str] = []
-    for parent, children in topology.items():
-        if parent not in peer_ids:
-            peer_ids.append(parent)
-        for child, _ in children:
-            if child not in peer_ids:
-                peer_ids.append(child)
-    for extra in extra_peers:
-        if extra not in peer_ids:
-            peer_ids.append(extra)
-
-    peers: Dict[str, AXMLPeer] = {}
-    for peer_id in peer_ids:
-        peers[peer_id] = AXMLPeer(
-            peer_id,
-            network,
-            super_peer=peer_id in super_peers,
-            peer_independent=peer_independent,
-            chaining=chaining,
-            chain_scope=chain_scope,
-            parent_watch_interval=parent_watch_interval,
-            injector=injector,
-        )
-        document = AXMLDocument.from_xml(_peer_document(peer_id), name=f"D{peer_id[2:]}")
-        peers[peer_id].host_document(document)
-        replication.register_primary(document.name, peer_id)
-
-    for peer_id in peer_ids:
-        method = f"S{peer_id[2:]}"
-        delegations = topology.get(peer_id, [])
-        service = DelegatingService(
-            ServiceDescriptor(
-                method,
-                kind="delegating",
-                target_document=f"D{peer_id[2:]}",
-                result_name="entry",
-            ),
-            delegations=delegations,
-            local_action_template=_marker_action(peer_id),
-            extra_fragments=(f'<done by="{peer_id}" method="{method}"/>',),
-        )
-        peers[peer_id].host_service(service)
-        replication.register_service(method, peer_id)
-    return Scenario(network, injector, peers, replication, dict(topology))
+    _deprecated("build_topology()", "Cluster.from_topology()")
+    return Cluster.from_topology(
+        topology,
+        super_peers=super_peers,
+        peer_independent=peer_independent,
+        chaining=chaining,
+        chain_scope=chain_scope,
+        parent_watch_interval=parent_watch_interval,
+        hop_latency=hop_latency,
+        extra_peers=extra_peers,
+    ).as_scenario()
 
 
 def build_fig1(**kwargs) -> Scenario:
-    """The Fig. 1 deployment (6 peers, nested invocations)."""
-    return build_topology(FIG1_TOPOLOGY, **kwargs)
+    """Deprecated shim: the Fig. 1 deployment (6 peers, nested
+    invocations).  Use :meth:`repro.api.Cluster.fig1`."""
+    from repro.api import Cluster
+
+    _deprecated("build_fig1()", "Cluster.fig1()")
+    return Cluster.fig1(**kwargs).as_scenario()
 
 
 def build_fig2(**kwargs) -> Scenario:
-    """The Fig. 2 deployment (AP1 is a super peer, per the paper's chain)."""
-    kwargs.setdefault("super_peers", ("AP1",))
-    return build_topology(FIG2_TOPOLOGY, **kwargs)
+    """Deprecated shim: the Fig. 2 deployment (AP1 is a super peer).
+    Use :meth:`repro.api.Cluster.fig2`."""
+    from repro.api import Cluster
+
+    _deprecated("build_fig2()", "Cluster.fig2()")
+    return Cluster.fig2(**kwargs).as_scenario()
 
 
 def run_root_transaction(scenario: Scenario, root: str = "AP1"):
-    """Begin a transaction at *root* and fire its topology invocations.
+    """Deprecated shim: begin a transaction at *root* and fire its
+    topology invocations.  Use :meth:`repro.api.Cluster.run_topology`.
 
     Returns ``(transaction, error)`` — *error* is the exception that
     reached the origin when recovery ended backward, else None.
     """
-    origin = scenario.peer(root)
-    transaction = origin.begin_transaction()
-    error = None
-    try:
-        for child, method in scenario.topology.get(root, []):
-            origin.invoke(transaction.txn_id, child, method, {})
-    except Exception as exc:  # noqa: BLE001 - scenario driver reports it
-        error = exc
-    return transaction, error
+    from repro.api import Cluster
+
+    _deprecated("run_root_transaction()", "Cluster.run_topology()")
+    handle, error = Cluster.wrap(scenario).run_topology(root)
+    return handle.txn, error

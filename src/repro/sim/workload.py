@@ -177,6 +177,75 @@ def generate_transaction(
 
 
 # ---------------------------------------------------------------------------
+# load generation for the throughput experiments (T1)
+# ---------------------------------------------------------------------------
+
+def poisson_arrival_times(
+    rng: SeededRng, rate: float, count: int, start: float = 0.0
+) -> List[float]:
+    """*count* absolute arrival times of a Poisson process at *rate*.
+
+    Inter-arrival gaps are exponential; the whole sequence is a pure
+    function of the rng stream, so open-loop load is reproducible.
+    """
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be > 0, got {rate}")
+    times: List[float] = []
+    t = start
+    for _ in range(count):
+        t += rng.expovariate(rate)
+        times.append(t)
+    return times
+
+
+def hot_spot_action(document: AXMLDocument) -> UpdateAction:
+    """A write that every contending transaction aims at the same node.
+
+    Inserts a ``<hit/>`` marker under item 0: the write set includes the
+    *parent* item node, so every pair of concurrent hot writers overlaps
+    for OCC validation — the contention knob.  An insert (rather than a
+    replace) is deliberate: its compensation deletes exactly the
+    inserted node id, so aborted attempts leave the hot item unchanged
+    even when other transactions touched it in between (a replace chain
+    under interleaving can re-insert stale snapshots and snowball).
+    """
+    root = document.document.root
+    category = "book"
+    if root is not None:
+        for item in root.child_elements():
+            sku_el = item.first_child("sku")
+            if sku_el is not None and sku_el.text_content() == "0":
+                category = item.name.local
+                break
+    return parse_action(
+        f'<action type="insert"><data><hit/></data>'
+        f"<location>Select i from i in {document.name}//{category}"
+        f" where i/sku = 0;</location></action>"
+    )
+
+
+def generate_contended_transaction(
+    rng: SeededRng,
+    document: AXMLDocument,
+    length: int,
+    hot_fraction: float = 0.0,
+    mix: Optional[OperationMix] = None,
+) -> List[UpdateAction]:
+    """A transaction whose operations hit a shared hot spot with
+    probability *hot_fraction* — the contention knob of the throughput
+    sweep.  Cold operations are selective (single-item), so contention
+    comes from the hot spot, not incidental overlap.
+    """
+    operations: List[UpdateAction] = []
+    for _ in range(length):
+        if hot_fraction > 0 and rng.coin(hot_fraction):
+            operations.append(hot_spot_action(document))
+        else:
+            operations.append(generate_operation(rng, document, mix, selective=True))
+    return operations
+
+
+# ---------------------------------------------------------------------------
 # invocation-tree topologies (experiment E5)
 # ---------------------------------------------------------------------------
 

@@ -29,6 +29,7 @@ from repro.xmlstore.path import TraversalMeter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.spans import SpanCollector
+    from repro.txn.occ import OptimisticValidator
 
 #: Callable resolving a document name to the hosted AXML document.
 DocumentProvider = Callable[[str], AXMLDocument]
@@ -271,6 +272,10 @@ class TransactionManager:
         return len(plan)
 
     # -- inspection ------------------------------------------------------------------
+
+    def validator_stats(self) -> Optional[Dict[str, float]]:
+        """OCC validation counters, or None when OCC is off."""
+        return None if self.validator is None else self.validator.stats()
 
     def active_transactions(self) -> List[str]:
         return [

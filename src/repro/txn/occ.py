@@ -177,3 +177,13 @@ class OptimisticValidator:
     @property
     def conflict_rate(self) -> float:
         return self.conflicts / self.validations if self.validations else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Validation counters for reports and benchmark rows."""
+        return {
+            "validations": self.validations,
+            "conflicts": self.conflicts,
+            "conflict_rate": self.conflict_rate,
+            "active": len(self._active),
+            "committed_history": len(self._committed),
+        }

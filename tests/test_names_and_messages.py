@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.outcome import Outcome, OutcomeStatus
 from repro.p2p.messages import (
     AbortMessage,
     CommitMessage,
@@ -68,9 +69,18 @@ class TestMessages:
 
     def test_invoke_result_defaults(self):
         result = InvokeResult()
-        assert result.fragments == []
-        assert result.compensations == []
+        assert list(result.fragments) == []
+        assert list(result.compensations) == []
         assert result.chain_text == ""
+        assert result.status is OutcomeStatus.OK
+
+    def test_invoke_result_is_the_unified_outcome(self):
+        # InvokeResult and InvocationOutcome are one frozen Outcome now.
+        from repro.axml.materialize import InvocationOutcome
+
+        assert InvokeResult is Outcome
+        assert InvocationOutcome is Outcome
+        assert InvokeResult.KIND == "result"
 
     def test_messages_carry_fields(self):
         assert AbortMessage("T1", "P", "S5").failed_method == "S5"
@@ -82,10 +92,14 @@ class TestMessages:
         assert redirect.method_name == "S6"
         assert PingMessage("a", "b").to_peer == "b"
 
-    def test_distinct_instances_do_not_share_mutables(self):
+    def test_distinct_requests_do_not_share_mutables(self):
         a, b = InvokeRequest("T1", "O", "S", "m"), InvokeRequest("T2", "O", "S", "m")
         a.params["k"] = "v"
         assert b.params == {}
-        r1, r2 = InvokeResult(), InvokeResult()
-        r1.fragments.append("<x/>")
-        assert r2.fragments == []
+
+    def test_outcome_is_frozen(self):
+        import dataclasses
+
+        result = InvokeResult(["<x/>"])
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.provider_peer = "P"  # type: ignore[misc]

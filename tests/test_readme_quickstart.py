@@ -12,6 +12,21 @@ def test_package_doctest():
 
 
 def test_readme_quickstart_snippet():
+    from repro.api import Cluster
+
+    cluster = Cluster()
+    cluster.add_peer("AP1")
+    doc = cluster.host_document(
+        "AP1", "<Shop><item><price>45</price></item></Shop>", name="Shop")
+
+    with cluster.session("AP1").transaction() as txn:
+        txn.submit(
+            '<action type="replace"><data><price>39</price></data>'
+            '<location>Select i/price from i in Shop//item;</location></action>')
+    assert "39" in doc.to_xml()
+
+
+def test_pre_facade_peer_api_still_works():
     from repro import AXMLPeer, SimNetwork, AXMLDocument
 
     network = SimNetwork()

@@ -153,13 +153,21 @@ class TestHarness:
     def test_table_render(self):
         table = ExperimentTable("T", ["a", "b"])
         table.add_row(a=1, b=2.5)
-        table.add_row(a="x", b=float("inf"))
+        table.add_row(a="x", b=None)
         table.add_note("n")
         text = table.render()
         assert "== T ==" in text
         assert "2.5" in text
-        assert "inf" in text
+        assert "-" in text  # None renders as a dash
         assert "note: n" in text
+
+    def test_non_finite_rows_rejected(self):
+        table = ExperimentTable("T", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row(a=float("inf"))
+        with pytest.raises(ValueError):
+            table.add_row(a=float("nan"))
+        assert table.rows == []
 
     def test_unknown_column_rejected(self):
         table = ExperimentTable("T", ["a"])
@@ -179,7 +187,8 @@ class TestHarness:
     def test_ratio(self):
         assert ratio(4, 2) == 2
         assert ratio(0, 0) == 1.0
-        assert ratio(3, 0) == float("inf")
+        # x/0 is undefined, not infinite: None keeps JSON exports strict.
+        assert ratio(3, 0) is None
 
     def test_mean(self):
         assert mean([1, 2, 3]) == 2
