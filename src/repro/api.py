@@ -45,7 +45,7 @@ from repro.sim.scheduler import TransactionScheduler
 from repro.txn.operations import OperationOutcome
 from repro.txn.recovery import FaultPolicy
 
-__all__ = ["Cluster", "Session", "Transaction", "Outcome", "OutcomeStatus"]
+__all__ = ["Cluster", "Session", "Transaction", "Outcome", "OutcomeStatus", "chaos"]
 
 #: peer → list of (child_peer, method) it invokes, the topology shape.
 Topology = Dict[str, List[Tuple[str, str]]]
@@ -436,3 +436,23 @@ class Cluster:
 
     def __repr__(self) -> str:
         return f"Cluster(peers={sorted(self.peers)})"
+
+
+def chaos(**config_kwargs):
+    """Run one seeded chaos experiment; returns a ``ChaosRunResult``.
+
+    Facade over :mod:`repro.chaos`: keyword arguments are
+    :class:`~repro.chaos.ChaosConfig` fields.  ``result.ok`` says
+    whether the atomicity oracle verified all-or-nothing outcomes::
+
+        from repro.api import chaos
+
+        result = chaos(seed=7, txns=20, fault_rate=0.2)
+        assert result.ok, result.violations
+
+    (Imported lazily: ``repro.chaos`` builds its clusters through this
+    module.)
+    """
+    from repro.chaos import ChaosConfig, run_chaos
+
+    return run_chaos(ChaosConfig(**config_kwargs))

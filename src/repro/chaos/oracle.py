@@ -1,0 +1,223 @@
+"""The atomicity oracle: all-or-nothing verification after a chaos run.
+
+The chaos workload is built so every forward effect is *addressable*:
+each operation inserts exactly one ``<chaos txn="LABEL" step="STEP"/>``
+marker per document its (possibly delegated) execution touches.  After
+the run settles, the oracle sweeps every peer's documents, operation
+log, transaction contexts and chain state and checks the paper's
+relaxed-atomicity contract:
+
+* a **committed** transaction's markers are present *exactly once* at
+  every (peer, document, step) its operations reached — nothing lost,
+  nothing double-applied;
+* an **aborted** transaction left *no* markers anywhere — dynamic
+  compensation (§3.1) fully undid every share, on every peer the
+  invocation tree enlisted;
+* no marker belongs to an unknown transaction (``orphan_effect``);
+* every :class:`~repro.txn.wal.OperationLog` is empty — commit and
+  compensation both truncate, so surviving entries mean a share was
+  never settled (``log_residue``: the WAL ↔ document-state check);
+* every transaction context reached a terminal state and that state
+  matches the scheduler's outcome (``unfinished_context`` /
+  ``outcome_mismatch``);
+* no peer still holds an active-peer chain entry for a settled
+  transaction (``orphan_chain``).
+
+Each failed predicate becomes a :class:`Violation`; runs are judged by
+``violations == []``.  The exact predicates are documented (with their
+paper references) in ``docs/CHAOS.md``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from repro.txn.transaction import TransactionState
+
+#: Violation kinds the oracle can report.
+VIOLATION_KINDS = (
+    "effect_missing",
+    "effect_duplicated",
+    "compensation_missing",
+    "orphan_effect",
+    "log_residue",
+    "unfinished_context",
+    "outcome_mismatch",
+    "orphan_chain",
+)
+
+_MARKER = re.compile(r"<chaos\b([^>]*?)/?>")
+_ATTR = re.compile(r'(\w+)="([^"]*)"')
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken atomicity predicate, addressed to where it was seen."""
+
+    kind: str
+    label: str = ""     # transaction label ("" when not attributable)
+    peer: str = ""
+    document: str = ""
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        return {k: v for k, v in asdict(self).items() if v != ""}
+
+
+@dataclass(frozen=True)
+class ExpectedEffect:
+    """One marker a committed transaction must have left exactly once."""
+
+    peer: str
+    document: str
+    label: str
+    step: str
+
+
+def scan_markers(xml: str) -> List[Tuple[str, str]]:
+    """All ``(txn, step)`` marker pairs in one serialized document."""
+    out: List[Tuple[str, str]] = []
+    for match in _MARKER.finditer(xml):
+        attrs = dict(_ATTR.findall(match.group(1)))
+        out.append((attrs.get("txn", ""), attrs.get("step", "")))
+    return out
+
+
+class AtomicityOracle:
+    """Sweeps a settled cluster against the expected-effect map.
+
+    ``outcomes`` maps transaction label → terminal scheduler status
+    (``committed`` / ``aborted_failure`` / ``aborted_conflict``);
+    ``expected`` lists every marker each label would leave if (and only
+    if) it committed; ``txn_ids`` maps label → the transaction ids its
+    attempts used (final attempt last).
+    """
+
+    def __init__(
+        self,
+        outcomes: Mapping[str, str],
+        expected: Sequence[ExpectedEffect],
+        txn_ids: Mapping[str, Sequence[str]],
+    ):
+        self.outcomes = dict(outcomes)
+        self.expected = list(expected)
+        self.txn_ids = {label: list(ids) for label, ids in txn_ids.items()}
+        #: txn id → (label, decided-committed?) for context checks.
+        self._decisions: Dict[str, Tuple[str, bool]] = {}
+        for label, ids in self.txn_ids.items():
+            committed = self.outcomes.get(label) == "committed"
+            for txn_id in ids[:-1]:
+                # Earlier attempts of a retried transaction always abort.
+                self._decisions[txn_id] = (label, False)
+            if ids:
+                self._decisions[ids[-1]] = (label, committed)
+
+    # -- sweep ---------------------------------------------------------
+
+    def check(self, peers: Mapping[str, object]) -> List[Violation]:
+        """Run every predicate over *peers* (id → AXMLPeer)."""
+        violations: List[Violation] = []
+        violations.extend(self._check_documents(peers))
+        violations.extend(self._check_logs(peers))
+        violations.extend(self._check_contexts(peers))
+        violations.extend(self._check_chains(peers))
+        return sorted(
+            violations,
+            key=lambda v: (v.kind, v.label, v.peer, v.document, v.detail),
+        )
+
+    def _check_documents(self, peers: Mapping[str, object]) -> List[Violation]:
+        counts: Dict[Tuple[str, str, str, str], int] = {}
+        for peer_id, peer in peers.items():
+            for doc_name, document in peer.documents.items():
+                for label, step in scan_markers(document.to_xml()):
+                    key = (peer_id, doc_name, label, step)
+                    counts[key] = counts.get(key, 0) + 1
+
+        violations: List[Violation] = []
+        expected_keys: Set[Tuple[str, str, str, str]] = set()
+        for effect in self.expected:
+            if self.outcomes.get(effect.label) != "committed":
+                continue
+            key = (effect.peer, effect.document, effect.label, effect.step)
+            expected_keys.add(key)
+            seen = counts.get(key, 0)
+            if seen == 0:
+                violations.append(Violation(
+                    "effect_missing", effect.label, effect.peer,
+                    effect.document, f"step {effect.step}: 0 markers",
+                ))
+            elif seen > 1:
+                violations.append(Violation(
+                    "effect_duplicated", effect.label, effect.peer,
+                    effect.document, f"step {effect.step}: {seen} markers",
+                ))
+        for (peer_id, doc_name, label, step), seen in sorted(counts.items()):
+            key = (peer_id, doc_name, label, step)
+            if key in expected_keys:
+                continue
+            if label in self.outcomes and self.outcomes[label] != "committed":
+                violations.append(Violation(
+                    "compensation_missing", label, peer_id, doc_name,
+                    f"step {step}: {seen} markers survived the abort",
+                ))
+            else:
+                violations.append(Violation(
+                    "orphan_effect", label, peer_id, doc_name,
+                    f"step {step}: {seen} unexpected markers",
+                ))
+        return violations
+
+    def _check_logs(self, peers: Mapping[str, object]) -> List[Violation]:
+        violations: List[Violation] = []
+        for peer_id, peer in sorted(peers.items()):
+            residues: Dict[str, int] = {}
+            for entry in peer.manager.log:
+                residues[entry.txn_id] = residues.get(entry.txn_id, 0) + 1
+            for txn_id, count in sorted(residues.items()):
+                label = self._decisions.get(txn_id, ("", False))[0]
+                violations.append(Violation(
+                    "log_residue", label, peer_id,
+                    detail=f"{count} live log entries for settled txn",
+                ))
+        return violations
+
+    def _check_contexts(self, peers: Mapping[str, object]) -> List[Violation]:
+        violations: List[Violation] = []
+        for peer_id, peer in sorted(peers.items()):
+            for txn_id, context in sorted(peer.manager.contexts.items()):
+                label, committed = self._decisions.get(txn_id, ("", False))
+                if not context.is_finished:
+                    violations.append(Violation(
+                        "unfinished_context", label, peer_id,
+                        detail=f"context left {context.state.value}",
+                    ))
+                    continue
+                if txn_id not in self._decisions:
+                    continue
+                wanted = (
+                    TransactionState.COMMITTED if committed
+                    else TransactionState.ABORTED
+                )
+                if context.state is not wanted:
+                    violations.append(Violation(
+                        "outcome_mismatch", label, peer_id,
+                        detail=(
+                            f"context {context.state.value}, scheduler says "
+                            f"{'committed' if committed else 'aborted'}"
+                        ),
+                    ))
+        return violations
+
+    def _check_chains(self, peers: Mapping[str, object]) -> List[Violation]:
+        violations: List[Violation] = []
+        for peer_id, peer in sorted(peers.items()):
+            for txn_id in sorted(peer.chains):
+                label = self._decisions.get(txn_id, ("", False))[0]
+                violations.append(Violation(
+                    "orphan_chain", label, peer_id,
+                    detail="chain entry survived settlement",
+                ))
+        return violations

@@ -1,0 +1,188 @@
+"""Seed-driven fault planning for the chaos harness.
+
+A :class:`FaultPlanner` samples a :class:`FaultPlan` — a list of
+:class:`FaultEvent` — from the simulation RNG.  Four event kinds cover
+the failure dimensions of §3.2–§3.3:
+
+* ``service_fault`` — a scripted :class:`~repro.errors.ServiceFault` at
+  a random depth of the invocation tree (``before_execute`` = no work
+  done, ``after_execute`` = the Fig. 1 shape);
+* ``disconnect`` — a peer leaves at a random virtual time (§1:
+  "joining and leaving the system arbitrarily");
+* ``disconnect_point`` — a peer dies at a protocol point of a
+  *neighbour's* execution: scripting ``dead=parent, trigger=child``
+  at ``after_local_work``/``before_return`` opens the §3.3(b) window
+  (completed work that cannot be returned);
+* ``message_chaos`` — one-way notifications are dropped/delayed via the
+  network message hook.  Only the §3.3 effort-optimization messages
+  (``DisconnectNotice``, ``RedirectedResult``) are interfered with: the
+  paper's protocol treats them as best-effort, while commit/abort
+  decisions are assumed reliable (see ``docs/CHAOS.md``).
+
+Every event is a plain dataclass that round-trips through JSON, so a
+plan can be minimized (``repro.chaos.shrink``) and replayed from a
+repro file byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.rng import SeededRng, stable_seed
+
+#: The fault name every planned service fault raises; chaos clusters
+#: with ``handlers=True`` install retry policies keyed on it.
+CHAOS_FAULT = "ChaosFault"
+
+KINDS = ("service_fault", "disconnect", "disconnect_point", "message_chaos")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned failure.  Unused fields stay at their defaults."""
+
+    kind: str
+    peer: str = ""          # faulted / disconnected peer
+    method: str = ""        # service method involved
+    point: str = ""         # injection point
+    time: float = 0.0       # absolute virtual time (kind=disconnect)
+    trigger: str = ""       # executing peer (kind=disconnect_point)
+    fault_name: str = CHAOS_FAULT
+    drop_rate: float = 0.0  # kind=message_chaos
+    delay_rate: float = 0.0
+    max_delay: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict with defaulted fields elided (stable, compact)."""
+        out: Dict[str, object] = {}
+        for key, value in asdict(self).items():
+            if key == "kind" or value != FaultEvent.__dataclass_fields__[key].default:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered fault schedule (frozen; shrink builds new plans)."""
+
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def without(self, index: int) -> "FaultPlan":
+        """The same plan minus the event at *index* (for shrinking)."""
+        return FaultPlan(
+            tuple(e for i, e in enumerate(self.events) if i != index)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        return cls(
+            tuple(FaultEvent.from_dict(e) for e in data.get("events", []))
+        )
+
+
+class FaultPlanner:
+    """Samples a deterministic fault schedule for one chaos run.
+
+    All randomness comes from ``stable_seed(seed, "plan")`` so the plan
+    depends only on the seed and the knobs — never on ``PYTHONHASHSEED``
+    or wall-clock anything.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        providers: Sequence[str],
+        provider_methods: Dict[str, str],
+        txns: int,
+        fault_rate: float,
+        horizon: float,
+        disconnect_origins: bool = False,
+    ):
+        self.seed = seed
+        self.providers = list(providers)
+        self.provider_methods = dict(provider_methods)
+        self.txns = txns
+        self.fault_rate = fault_rate
+        self.horizon = horizon
+        self.disconnect_origins = disconnect_origins
+
+    def plan(self) -> FaultPlan:
+        rng = SeededRng(stable_seed(self.seed, "plan"))
+        count = int(round(self.fault_rate * self.txns))
+        events: List[FaultEvent] = []
+        message_chaos_used = False
+        for _ in range(count):
+            roll = rng.random()
+            if roll < 0.45 or not self.providers:
+                events.append(self._service_fault(rng))
+            elif roll < 0.70:
+                events.append(self._disconnect(rng))
+            elif roll < 0.90 or message_chaos_used:
+                events.append(self._disconnect_point(rng))
+            else:
+                message_chaos_used = True
+                events.append(self._message_chaos(rng))
+        return FaultPlan(tuple(events))
+
+    # -- samplers ------------------------------------------------------
+
+    def _service_fault(self, rng: SeededRng) -> FaultEvent:
+        peer = rng.choice(self.providers)
+        return FaultEvent(
+            kind="service_fault",
+            peer=peer,
+            method=self.provider_methods[peer],
+            point=rng.choice(["before_execute", "after_execute"]),
+        )
+
+    def _disconnect(self, rng: SeededRng) -> FaultEvent:
+        peer = rng.choice(self.providers)
+        time = round(rng.uniform(0.05, self.horizon), 4)
+        return FaultEvent(kind="disconnect", peer=peer, time=time)
+
+    def _disconnect_point(self, rng: SeededRng) -> FaultEvent:
+        """§3.3(b): the trigger's *invoker* dies while it executes.
+
+        The provider tree is a binary heap (``AP2``'s delegating parent
+        is ``AP1``, …), so a non-root provider's parent edge is known
+        statically.  With a single provider there is no parent edge to
+        cut; fall back to a plain timed disconnect.
+        """
+        children = [p for p in self.providers if self._index(p) > 1]
+        if not children:
+            return self._disconnect(rng)
+        trigger = rng.choice(children)
+        parent = f"AP{self._index(trigger) // 2}"
+        return FaultEvent(
+            kind="disconnect_point",
+            peer=parent,
+            trigger=trigger,
+            method=self.provider_methods[trigger],
+            point=rng.choice(["after_local_work", "before_return"]),
+        )
+
+    def _message_chaos(self, rng: SeededRng) -> FaultEvent:
+        return FaultEvent(
+            kind="message_chaos",
+            drop_rate=round(rng.uniform(0.1, 0.5), 4),
+            delay_rate=round(rng.uniform(0.1, 0.5), 4),
+            max_delay=round(rng.uniform(0.05, 0.5), 4),
+        )
+
+    @staticmethod
+    def _index(provider: str) -> int:
+        return int(provider[2:])

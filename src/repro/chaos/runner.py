@@ -1,0 +1,505 @@
+"""Build, run and settle one deterministic chaos experiment.
+
+One run = a seeded concurrent workload (``repro.sim.scheduler``) over a
+generated cluster, overlaid with a seeded :class:`FaultPlan`, followed
+by a deterministic **settlement** phase and the
+:class:`~repro.chaos.oracle.AtomicityOracle` sweep.
+
+Cluster shape
+-------------
+``origins`` client peers (``C1`` …, super-peers, documents ``O1`` …)
+issue all transactions; ``providers`` service peers (``AP1`` …,
+documents ``D1`` …) form a binary-heap delegation tree: ``APi`` hosts a
+:class:`~repro.services.service.DelegatingService` ``Si`` that inserts
+one ``<chaos txn="$tag" step="$step"/>`` marker into ``Di`` and
+delegates to ``S(2i)``/``S(2i+1)``.  Parameters are forwarded, so one
+``InvokeOp`` leaves exactly one marker per document of the target's
+subtree — the addressable-effect scheme the oracle checks.  Faults
+target providers only: an origin is the paper's single commit point,
+and the scheduler client would die with it.
+
+Settlement
+----------
+After the scheduler drains: (1) run every pending event (delayed
+messages, late planned disconnects); (2) reconnect dead peers —
+deliberately *not* via :meth:`AXMLPeer.rejoin`, which compensates every
+active share and would wrongly undo the share of a transaction that
+committed while the peer was dead; (3) resolve each peer's in-doubt
+shares against the origin's decision (``resolve_in_doubt``), which is
+exactly what a returning peer can learn by asking any chain member;
+(4) release per-transaction protocol state (``forget_transaction``).
+Only then does the oracle sweep.
+
+Mutation modes (``config.mutate``) deliberately break the protocol to
+prove the oracle catches real violations; see :data:`MUTATIONS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.oracle import AtomicityOracle, ExpectedEffect, Violation
+from repro.chaos.planner import CHAOS_FAULT, FaultEvent, FaultPlan, FaultPlanner
+from repro.obs import run_summary
+from repro.p2p.messages import DisconnectNotice, RedirectedResult
+from repro.query.parser import parse_action
+from repro.query.update import apply_action
+from repro.services.descriptor import ParamSpec, ServiceDescriptor
+from repro.services.service import DelegatingService
+from repro.sim.rng import SeededRng, stable_seed
+from repro.sim.scheduler import COMMITTED, InvokeOp, TxnResult, TxnSpec
+from repro.txn.recovery import FaultPolicy
+
+#: Deliberate protocol breakages; each trips a distinct oracle kind.
+MUTATIONS = (
+    "skip_undo",      # drop one undo entry before compensating -> compensation_missing
+    "double_apply",   # apply one insert twice, log it once      -> effect_duplicated
+    "stale_chain",    # skip one forget_transaction              -> orphan_chain
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Every knob of one chaos run (JSON-round-trippable)."""
+
+    seed: int = 7
+    txns: int = 20
+    providers: int = 6
+    origins: int = 2
+    concurrency: int = 4
+    ops_per_txn: int = 3
+    invoke_fraction: float = 0.6
+    fault_rate: float = 0.2
+    arrival_rate: float = 20.0
+    op_gap: float = 0.01
+    handlers: bool = False
+    mutate: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mutate and self.mutate not in MUTATIONS:
+            raise ValueError(
+                f"unknown mutation {self.mutate!r}; use one of {MUTATIONS}"
+            )
+        if self.providers < 1 or self.origins < 1 or self.txns < 1:
+            raise ValueError("providers, origins and txns must all be >= 1")
+
+    @property
+    def horizon(self) -> float:
+        """Virtual-time window planned disconnects are sampled from."""
+        return self.txns / self.arrival_rate + 2.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return dict(asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChaosConfig":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class ChaosRunResult:
+    """Everything one run produced; ``ok`` iff the oracle found nothing."""
+
+    config: ChaosConfig
+    plan: FaultPlan
+    results: List[TxnResult]
+    violations: List[Violation]
+    summary: Dict[str, object]
+    cluster: object = field(repr=False, default=None)
+    expected: List[ExpectedEffect] = field(repr=False, default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def oracle(self) -> AtomicityOracle:
+        """A fresh oracle over this run's outcomes (for re-checking a
+        cluster after poking at it — used by tests and notebooks)."""
+        return AtomicityOracle(
+            outcomes={r.label: r.status for r in self.results},
+            expected=self.expected,
+            txn_ids={r.label: list(r.txn_ids) for r in self.results},
+        )
+
+
+class _MutationState:
+    """Once-only firing shared by every wrapped peer."""
+
+    def __init__(self) -> None:
+        self.fired = False
+
+
+# ---------------------------------------------------------------------------
+# cluster construction
+# ---------------------------------------------------------------------------
+
+def _provider_children(index: int, providers: int) -> List[int]:
+    return [c for c in (2 * index, 2 * index + 1) if c <= providers]
+
+
+def _provider_subtree(index: int, providers: int) -> List[int]:
+    out, stack = [], [index]
+    while stack:
+        i = stack.pop()
+        out.append(i)
+        stack.extend(reversed(_provider_children(i, providers)))
+    return out
+
+
+def _marker_template(document: str) -> str:
+    return (
+        '<action type="insert"><data><chaos txn="$tag" step="$step"/></data>'
+        f"<location>Select d from d in {document}//items;</location></action>"
+    )
+
+
+def build_chaos_cluster(config: ChaosConfig):
+    """The generated deployment: returns ``(cluster, origins, providers)``."""
+    from repro.api import Cluster
+
+    cluster = Cluster()
+    origins = [f"C{j}" for j in range(1, config.origins + 1)]
+    providers = [f"AP{i}" for i in range(1, config.providers + 1)]
+    for j, origin in enumerate(origins, start=1):
+        cluster.add_peer(origin, super_peer=True)
+        cluster.host_document(origin, f"<O{j}><items/></O{j}>", name=f"O{j}")
+    for i, provider in enumerate(providers, start=1):
+        cluster.add_peer(provider)
+        cluster.host_document(provider, f"<D{i}><items/></D{i}>", name=f"D{i}")
+        delegations = [
+            (f"AP{c}", f"S{c}") for c in _provider_children(i, config.providers)
+        ]
+        descriptor = ServiceDescriptor(
+            method_name=f"S{i}",
+            kind="delegating",
+            params=(ParamSpec("tag"), ParamSpec("step")),
+            target_document=f"D{i}",
+            description="chaos marker service",
+        )
+        cluster.host_service(provider, DelegatingService(
+            descriptor, delegations,
+            local_action_template=_marker_template(f"D{i}"),
+        ))
+    if config.handlers:
+        policy = [FaultPolicy(fault_names={CHAOS_FAULT}, retry_times=2)]
+        for peer_id in origins + providers:
+            for i in range(1, config.providers + 1):
+                cluster.peer(peer_id).set_fault_policy(f"S{i}", policy)
+    return cluster, origins, providers
+
+
+# ---------------------------------------------------------------------------
+# workload generation
+# ---------------------------------------------------------------------------
+
+def generate_workload(
+    config: ChaosConfig, origins: Sequence[str], providers: Sequence[str]
+) -> Tuple[List[TxnSpec], List[ExpectedEffect]]:
+    """Seeded specs plus the exact markers each would leave if committed."""
+    rng = SeededRng(stable_seed(config.seed, "workload"))
+    specs: List[TxnSpec] = []
+    expected: List[ExpectedEffect] = []
+    for t in range(config.txns):
+        label = f"T{t:03d}"
+        origin_index = t % len(origins)
+        origin = origins[origin_index]
+        origin_doc = f"O{origin_index + 1}"
+        operations: List[object] = []
+        for k in range(config.ops_per_txn):
+            step = f"s{k}"
+            if rng.random() < config.invoke_fraction:
+                target = rng.choice(list(providers))
+                index = int(target[2:])
+                operations.append(InvokeOp(
+                    target, f"S{index}", {"tag": label, "step": step}
+                ))
+                for m in _provider_subtree(index, config.providers):
+                    expected.append(
+                        ExpectedEffect(f"AP{m}", f"D{m}", label, step)
+                    )
+            else:
+                operations.append(
+                    '<action type="insert">'
+                    f'<data><chaos txn="{label}" step="{step}"/></data>'
+                    f"<location>Select d from d in {origin_doc}//items;"
+                    "</location></action>"
+                )
+                expected.append(
+                    ExpectedEffect(origin, origin_doc, label, step)
+                )
+        specs.append(TxnSpec(label, origin, tuple(operations)))
+    return specs, expected
+
+
+# ---------------------------------------------------------------------------
+# fault application
+# ---------------------------------------------------------------------------
+
+def apply_plan(cluster, config: ChaosConfig, plan: FaultPlan) -> None:
+    """Script every planned event onto the injector / message hook."""
+    message_event: Optional[FaultEvent] = None
+    for event in plan.events:
+        if event.kind == "service_fault":
+            cluster.injector.fault_service(
+                event.peer, event.method, event.fault_name,
+                times=1, point=event.point,
+            )
+        elif event.kind == "disconnect":
+            cluster.injector.disconnect_at(event.peer, event.time)
+        elif event.kind == "disconnect_point":
+            cluster.injector.disconnect_peer_during(
+                event.peer, event.trigger, event.method, event.point
+            )
+        elif event.kind == "message_chaos":
+            message_event = event
+        else:
+            raise ValueError(f"unknown fault event kind {event.kind!r}")
+    if message_event is not None:
+        _install_message_chaos(cluster, config, message_event)
+
+
+def _install_message_chaos(cluster, config: ChaosConfig, event: FaultEvent) -> None:
+    """Drop/delay the §3.3 best-effort messages via the network hook.
+
+    Decision messages (commit/abort/compensation requests) stay
+    reliable: the protocol's atomicity argument assumes they eventually
+    arrive, and settlement models exactly that eventuality.
+    """
+    rng = SeededRng(stable_seed(config.seed, "nethook"))
+
+    def hook(source_id: str, target_id: str, message: object):
+        if not isinstance(message, (DisconnectNotice, RedirectedResult)):
+            return None
+        roll = rng.random()
+        if roll < event.drop_rate:
+            return "drop"
+        if roll < event.drop_rate + event.delay_rate:
+            return round(rng.uniform(0.01, event.max_delay), 4)
+        return None
+
+    cluster.network.set_message_hook(hook)
+
+
+# ---------------------------------------------------------------------------
+# mutations
+# ---------------------------------------------------------------------------
+
+def _install_skip_undo(cluster, providers: Sequence[str], state: _MutationState) -> None:
+    """First provider-side compensation silently loses its newest entry."""
+    for provider in providers:
+        manager = cluster.peer(provider).manager
+
+        def mutated(txn_id, meter=None, _manager=manager, _orig=manager.abort_local):
+            if not state.fired:
+                entries = _manager.log.entries_for(txn_id)
+                if entries:
+                    _manager.log._entries.remove(entries[-1])
+                    state.fired = True
+            return _orig(txn_id, meter)
+
+        manager.abort_local = mutated
+
+
+def _install_double_apply(cluster, providers: Sequence[str], state: _MutationState) -> None:
+    """First provider-side insert is applied twice but logged once."""
+    for provider in providers:
+        peer = cluster.peer(provider)
+
+        def mutated(records, document_name, action_xml,
+                    _peer=peer, _orig=peer.record_changes):
+            _orig(records, document_name, action_xml)
+            if not state.fired and records:
+                apply_action(
+                    _peer.get_axml_document(document_name).document,
+                    parse_action(action_xml),
+                )
+                state.fired = True
+
+        peer.record_changes = mutated
+
+
+# ---------------------------------------------------------------------------
+# the run
+# ---------------------------------------------------------------------------
+
+def run_chaos(config: ChaosConfig, plan: Optional[FaultPlan] = None) -> ChaosRunResult:
+    """Execute one chaos run; pass *plan* to replay/shrink a schedule."""
+    cluster, origins, providers = build_chaos_cluster(config)
+    if plan is None:
+        plan = FaultPlanner(
+            seed=config.seed,
+            providers=providers,
+            provider_methods={p: f"S{p[2:]}" for p in providers},
+            txns=config.txns,
+            fault_rate=config.fault_rate,
+            horizon=config.horizon,
+        ).plan()
+    apply_plan(cluster, config, plan)
+
+    mutation = _MutationState()
+    if config.mutate == "skip_undo":
+        _install_skip_undo(cluster, providers, mutation)
+    elif config.mutate == "double_apply":
+        _install_double_apply(cluster, providers, mutation)
+
+    specs, expected = generate_workload(config, origins, providers)
+    scheduler = cluster.scheduler(
+        max_inflight=config.concurrency,
+        op_gap=config.op_gap,
+        seed=stable_seed(config.seed, "sched"),
+    )
+    scheduler.submit_open_loop(specs, rate=config.arrival_rate)
+    results = scheduler.run()
+
+    violations = _settle_and_check(
+        cluster, config, results, expected, mutation
+    )
+    summary = {
+        "version": 1,
+        "config": config.to_dict(),
+        "plan": plan.to_dict(),
+        "outcomes": {r.label: r.status for r in sorted(results, key=lambda r: r.label)},
+        "violations": [v.to_dict() for v in violations],
+        "metrics": run_summary(cluster.metrics),
+    }
+    cluster.metrics.incr("chaos_runs")
+    if violations:
+        cluster.metrics.incr("chaos_violations", len(violations))
+    return ChaosRunResult(
+        config, plan, results, violations, summary, cluster, expected
+    )
+
+
+def _settle_and_check(
+    cluster,
+    config: ChaosConfig,
+    results: List[TxnResult],
+    expected: List[ExpectedEffect],
+    mutation: _MutationState,
+) -> List[Violation]:
+    # (1) drain: delayed messages and late planned events still fire
+    # while dead peers are dead — chaos timing is part of the run.
+    cluster.run_all()
+    # (2) every peer returns (documents kept, liveness flag cleared).
+    for peer_id, peer in cluster.peers.items():
+        if peer.disconnected:
+            cluster.network.reconnect(peer_id)
+    # (3) settle in-doubt shares against the origins' decisions.
+    decisions: List[Tuple[str, bool]] = []
+    for result in results:
+        for txn_id in result.txn_ids[:-1]:
+            decisions.append((txn_id, False))
+        if result.txn_ids:
+            decisions.append((result.txn_ids[-1], result.status == COMMITTED))
+    for txn_id, committed in decisions:
+        for peer in cluster.peers.values():
+            if peer.resolve_in_doubt(txn_id, committed) != "noop":
+                cluster.metrics.incr("chaos_settled_shares")
+    # (4) hygiene: release per-txn protocol state everywhere.
+    skipped_stale = config.mutate != "stale_chain"
+    for peer in cluster.peers.values():
+        for txn_id, _committed in decisions:
+            if not skipped_stale and txn_id in peer.chains:
+                skipped_stale = True  # the deliberate stale entry
+                continue
+            peer.forget_transaction(txn_id)
+    # (5) sweep.
+    oracle = AtomicityOracle(
+        outcomes={r.label: r.status for r in results},
+        expected=expected,
+        txn_ids={r.label: list(r.txn_ids) for r in results},
+    )
+    return oracle.check(cluster.peers)
+
+
+def describe_plan(plan: FaultPlan) -> List[str]:
+    """Human-readable one-liners, one per event (CLI / docs output)."""
+    lines = []
+    for event in plan.events:
+        if event.kind == "service_fault":
+            lines.append(
+                f"service_fault {event.method}@{event.peer} [{event.point}]"
+            )
+        elif event.kind == "disconnect":
+            lines.append(f"disconnect {event.peer} @t={event.time}")
+        elif event.kind == "disconnect_point":
+            lines.append(
+                f"disconnect {event.peer} while {event.trigger} runs "
+                f"{event.method} [{event.point}]"
+            )
+        else:
+            lines.append(
+                f"message_chaos drop={event.drop_rate} "
+                f"delay={event.delay_rate} max_delay={event.max_delay}"
+            )
+    return lines
+
+
+def rerun(result: ChaosRunResult) -> ChaosRunResult:
+    """Same config, same plan — the determinism primitive shrink relies on."""
+    return run_chaos(replace(result.config), plan=result.plan)
+
+
+# ---------------------------------------------------------------------------
+# sweeps
+# ---------------------------------------------------------------------------
+
+def chaos_sweep(
+    base: ChaosConfig,
+    seeds: Sequence[int],
+    concurrencies: Sequence[int] = (2, 4),
+    fault_rates: Sequence[float] = (0.2,),
+    metrics=None,
+):
+    """Run seeds × concurrency × fault-rate; returns ``(table, failures)``.
+
+    Aggregate ``chaos_runs`` / ``chaos_violations`` counters land on
+    *metrics* (a :class:`~repro.sim.metrics.MetricsCollector`; one is
+    created when omitted) so sweeps plug into the ``repro.obs``
+    reporting pipeline.  ``failures`` holds every failing
+    :class:`ChaosRunResult`, ready for shrinking.
+    """
+    from repro.sim.harness import ExperimentTable
+    from repro.sim.metrics import MetricsCollector
+
+    metrics = metrics or MetricsCollector()
+    table = ExperimentTable(
+        title="chaos: atomicity under seeded faults",
+        columns=[
+            "seed", "conc", "fault_rate", "faults", "txns",
+            "committed", "aborted", "violations",
+        ],
+    )
+    failures: List[ChaosRunResult] = []
+    for fault_rate in fault_rates:
+        for concurrency in concurrencies:
+            for seed in seeds:
+                config = replace(
+                    base,
+                    seed=seed,
+                    concurrency=concurrency,
+                    fault_rate=fault_rate,
+                )
+                result = run_chaos(config)
+                committed = sum(1 for r in result.results if r.committed)
+                table.add_row(
+                    seed=seed,
+                    conc=concurrency,
+                    fault_rate=fault_rate,
+                    faults=len(result.plan),
+                    txns=len(result.results),
+                    committed=committed,
+                    aborted=len(result.results) - committed,
+                    violations=len(result.violations),
+                )
+                metrics.incr("chaos_runs")
+                if result.violations:
+                    metrics.incr("chaos_violations", len(result.violations))
+                    failures.append(result)
+    table.add_note(
+        f"{len(list(seeds)) * len(list(concurrencies)) * len(list(fault_rates))}"
+        f" runs, {len(failures)} failing"
+    )
+    return table, failures

@@ -129,6 +129,107 @@ def cmd_fig2(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos run / sweep / replay with the atomicity oracle.
+
+    Exit status 0 means the oracle verified all-or-nothing outcomes for
+    every transaction; 1 means violations (already shrunk to a minimal
+    replayable schedule in ``--repro-out``).
+    """
+    from repro.chaos import (
+        ChaosConfig,
+        chaos_sweep,
+        replay_repro_file,
+        run_chaos,
+        shrink_and_report,
+    )
+    from repro.obs import write_json_artifact
+    from repro.sim.metrics import MetricsCollector
+
+    if args.replay:
+        try:
+            result = replay_repro_file(args.replay)
+        except (OSError, ValueError) as exc:
+            print(f"repro chaos: cannot replay {args.replay}: {exc}",
+                  file=sys.stderr)
+            return 2
+        _print_chaos_result(result)
+        return 1 if result.violations else 0
+
+    config = ChaosConfig(
+        seed=args.seed,
+        txns=args.txns,
+        providers=args.providers,
+        origins=args.origins,
+        concurrency=args.concurrency,
+        ops_per_txn=args.ops,
+        invoke_fraction=args.invoke_fraction,
+        fault_rate=args.fault_rate,
+        handlers=args.handlers,
+        mutate=args.mutate or "",
+    )
+
+    if args.sweep:
+        metrics = MetricsCollector()
+        table, failures = chaos_sweep(
+            config,
+            seeds=range(args.seeds),
+            concurrencies=(2, config.concurrency),
+            fault_rates=(config.fault_rate,),
+            metrics=metrics,
+        )
+        print(table.render())
+        print(
+            f"\nchaos_runs = {metrics.get('chaos_runs')}  "
+            f"chaos_violations = {metrics.get('chaos_violations')}"
+        )
+        if args.json_out:
+            table.write_json(args.json_out)
+            print(f"json artifact written: {args.json_out}")
+        return 1 if failures else 0
+
+    result = run_chaos(config)
+    _print_chaos_result(result)
+    if args.json_out:
+        write_json_artifact(args.json_out, result.summary)
+        print(f"json summary written: {args.json_out}")
+    if result.violations:
+        report = shrink_and_report(config, result.plan, repro_path=args.repro_out)
+        print(
+            f"shrunk schedule: {report.original_events} -> "
+            f"{report.minimized_events} events ({report.runs} replays)"
+        )
+        print(f"repro file written: {args.repro_out}")
+        print(f"replay with: python -m repro chaos --replay {args.repro_out}")
+        return 1
+    return 0
+
+
+def _print_chaos_result(result) -> None:
+    from repro.chaos import describe_plan
+
+    config = result.config
+    print(
+        f"chaos run: seed={config.seed} txns={config.txns} "
+        f"concurrency={config.concurrency} fault_rate={config.fault_rate}"
+        + (f" mutate={config.mutate}" if config.mutate else "")
+    )
+    print(f"fault schedule ({len(result.plan)} events):")
+    for line in describe_plan(result.plan) or ["(none)"]:
+        print(f"  {line}")
+    committed = sum(1 for r in result.results if r.committed)
+    print(
+        f"outcomes: {committed} committed, "
+        f"{len(result.results) - committed} aborted"
+    )
+    if result.violations:
+        print(f"ATOMICITY VIOLATIONS ({len(result.violations)}):")
+        for violation in result.violations:
+            print(f"  {violation.to_dict()}")
+    else:
+        print("oracle: all-or-nothing holds for every transaction (0 violations)")
+
+
 def cmd_spheres(args: argparse.Namespace) -> int:
     """Print the spheres-of-atomicity guarantee rates for a random pool."""
     from repro.sim.rng import SeededRng
@@ -262,6 +363,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_b.add_argument("--json-out", metavar="PATH",
                      help="also write the table as a JSON artifact")
     p_b.set_defaults(fn=cmd_bench)
+
+    p_ch = subparsers.add_parser(
+        "chaos", help="seeded chaos harness + atomicity oracle"
+    )
+    p_ch.add_argument("--seed", type=int, default=7)
+    p_ch.add_argument("--txns", type=int, default=20)
+    p_ch.add_argument("--fault-rate", type=float, default=0.2,
+                      help="planned faults per transaction (default 0.2)")
+    p_ch.add_argument("--providers", type=int, default=6)
+    p_ch.add_argument("--origins", type=int, default=2)
+    p_ch.add_argument("--concurrency", type=int, default=4)
+    p_ch.add_argument("--ops", type=int, default=3,
+                      help="operations per transaction")
+    p_ch.add_argument("--invoke-fraction", type=float, default=0.6,
+                      help="fraction of ops that are remote invocations")
+    p_ch.add_argument("--handlers", action="store_true",
+                      help="install retry fault policies (forward recovery)")
+    p_ch.add_argument("--mutate", choices=("skip_undo", "double_apply",
+                                           "stale_chain"),
+                      help="deliberately break the protocol (oracle demo)")
+    p_ch.add_argument("--sweep", action="store_true",
+                      help="sweep seeds x concurrency x fault-rate")
+    p_ch.add_argument("--seeds", type=int, default=10,
+                      help="(--sweep) how many seeds, 0..N-1")
+    p_ch.add_argument("--replay", metavar="FILE",
+                      help="re-execute a repro file instead of planning")
+    p_ch.add_argument("--repro-out", metavar="PATH", default="chaos_repro.json",
+                      help="where the minimized repro file goes on failure")
+    p_ch.add_argument("--json-out", metavar="PATH",
+                      help="write the deterministic run summary as JSON")
+    p_ch.set_defaults(fn=cmd_chaos)
 
     p_sp = subparsers.add_parser("spheres", help="spheres-of-atomicity analysis")
     p_sp.add_argument("--super-fraction", type=float, default=0.5)

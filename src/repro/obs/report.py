@@ -40,6 +40,13 @@ def run_summary(metrics: Any, spans: Any = None) -> Dict[str, Any]:
         "detections": len(metrics.detections),
         "detection_latency": metrics.detection_latency(),
     }
+    chaos = {
+        key: value for key, value in counters.items() if key.startswith("chaos_")
+    }
+    if chaos:
+        # Chaos-harness accounting (repro.chaos): runs swept, oracle
+        # violations, shares settled after the fact.
+        summary["chaos"] = chaos
     if spans is not None:
         summary["spans"] = spans.summary()
         summary["slowest_spans"] = [
@@ -101,6 +108,11 @@ def render_report(metrics: Any, spans: Any = None, title: str = "run report") ->
         "  detection latency (earliest): "
         f"{_format_value(summary['detection_latency'])}"
     )
+
+    if "chaos" in summary:
+        lines.append("-- chaos --")
+        for name, value in sorted(summary["chaos"].items()):
+            lines.append(f"  {name:<22} {value}")
 
     if spans is not None:
         span_summary = summary["spans"]

@@ -13,7 +13,7 @@ protocols on top of these primitives.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol, Union
 
 from repro.errors import PeerDisconnected, ServiceFault, UnknownPeer
 from repro.obs.spans import SpanCollector
@@ -35,6 +35,15 @@ class NetworkPeer(Protocol):
     def on_return_failure(self, request: InvokeRequest, result: InvokeResult) -> None: ...
 
 
+#: Verdict a message hook may return for one notification: ``None``
+#: (deliver normally), ``"drop"`` (lose the message), or a positive
+#: float (deliver after that many extra virtual seconds).
+MessageVerdict = Union[None, str, float]
+
+#: ``hook(source_id, target_id, message) -> MessageVerdict``.
+MessageHook = Callable[[str, str, object], MessageVerdict]
+
+
 class SimNetwork:
     """Synchronous-RPC network over a virtual clock."""
 
@@ -53,6 +62,9 @@ class SimNetwork:
         self._peers: Dict[str, NetworkPeer] = {}
         #: Virtual time each peer disconnected at (for detection latency).
         self.disconnect_times: Dict[str, float] = {}
+        #: Optional chaos hook consulted for every one-way notification
+        #: (see :meth:`set_message_hook`); ``None`` = pristine network.
+        self.message_hook: Optional[MessageHook] = None
 
     # -- membership -------------------------------------------------------
 
@@ -167,15 +179,51 @@ class SimNetwork:
         self.metrics.record_message("result")
         return result
 
+    def set_message_hook(self, hook: Optional[MessageHook]) -> None:
+        """Install (or clear) the chaos hook for one-way notifications.
+
+        The hook sees every :meth:`notify` before delivery and may drop
+        it (``"drop"``) or delay it (a positive float of extra virtual
+        seconds, delivered through the event queue).  RPC traffic is
+        *not* hooked: synchronous invocations already have first-class
+        failure modes (faults and disconnections); the hook models the
+        lossy-asynchronous-messaging dimension on top.
+        """
+        self.message_hook = hook
+
     def notify(self, source_id: str, target_id: str, message: object) -> bool:
         """One-way message; returns False when the target is unreachable.
 
         Message kinds are recorded under their lowercase protocol names
         (``messages.abort``, ``messages.disconnect_notice``, …) — the
         same scheme :meth:`rpc` uses for ``messages.invoke``/``result``.
+
+        With a message hook installed, a notification may be dropped
+        (``True`` is *not* returned: the sender learns nothing was
+        delivered, as with a dead target) or delayed — then ``True`` is
+        returned optimistically (fire-and-forget semantics) and the
+        delivery re-checks both endpoints' liveness when it fires.
         """
         self.metrics.record_message(message_kind(message))
         self.clock.advance(self.hop_latency)
+        if self.message_hook is not None:
+            verdict = self.message_hook(source_id, target_id, message)
+            if verdict == "drop":
+                self.metrics.incr("messages_chaos_dropped")
+                self.metrics.incr("messages_dropped")
+                return False
+            if isinstance(verdict, (int, float)) and not isinstance(verdict, bool) \
+                    and verdict > 0:
+                self.metrics.incr("messages_chaos_delayed")
+                self.events.schedule(
+                    float(verdict),
+                    lambda: self._deliver_notify(source_id, target_id, message),
+                )
+                return True
+        return self._deliver_notify(source_id, target_id, message)
+
+    def _deliver_notify(self, source_id: str, target_id: str, message: object) -> bool:
+        """Final delivery step (shared by immediate and delayed paths)."""
         peer = self._peers.get(target_id)
         if peer is None or peer.disconnected:
             self.metrics.incr("messages_dropped")

@@ -53,7 +53,7 @@ from repro.txn.recovery import (
     fault_name_of,
     select_policy,
 )
-from repro.txn.transaction import Transaction, TransactionContext
+from repro.txn.transaction import Transaction, TransactionContext, TransactionState
 
 
 class AXMLPeer:
@@ -993,6 +993,48 @@ class AXMLPeer:
                 compensated += 1
         self.network.metrics.incr("peer_rejoins")
         return compensated
+
+    # ------------------------------------------------------------------
+    # settlement (driven by external harnesses, e.g. repro.chaos)
+    # ------------------------------------------------------------------
+
+    def resolve_in_doubt(self, txn_id: str, committed: bool) -> str:
+        """Settle a share left without a decision; returns what was done.
+
+        A participant that was disconnected (or whose decision message
+        was lost) ends the run with an ``ACTIVE`` context.  Once the
+        transaction's global outcome is known — from the origin, which
+        under the paper's protocol is the single commit point — the
+        share either commits locally (log truncated, effects kept) or
+        compensates.  Returns ``"committed"``, ``"aborted"`` or
+        ``"noop"`` (no context / already settled).
+        """
+        if not self.manager.has_context(txn_id):
+            return "noop"
+        context = self.manager.contexts[txn_id]
+        if context.is_finished:
+            return "noop"
+        if committed and context.state is TransactionState.ACTIVE:
+            self.manager.commit_local(txn_id)
+            return "committed"
+        self.manager.abort_local(txn_id)
+        return "aborted"
+
+    def forget_transaction(self, txn_id: str) -> None:
+        """Drop per-transaction protocol state for a settled transaction.
+
+        Chain views, doomed-markers and redirected-result caches are
+        kept after commit/abort so late protocol traffic (and the
+        paper's reuse cases) still resolve; a harness that *knows* the
+        transaction is globally settled calls this to release them.
+        """
+        self.chains.pop(txn_id, None)
+        self.known_doomed.discard(txn_id)
+        for key in [k for k in self.reusable_results if k[0] == txn_id]:
+            del self.reusable_results[key]
+        for key in [k for k in self._incoming_reuse if k[0] == txn_id]:
+            del self._incoming_reuse[key]
+        self._cancel_pending_work(txn_id)
 
     # ------------------------------------------------------------------
     # misc

@@ -41,15 +41,42 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ReproError
+from repro.errors import PeerDisconnected, ReproError
 from repro.obs.spans import Span
 from repro.p2p.network import SimNetwork
 from repro.query.ast import UpdateAction
 from repro.sim.rng import SeededRng
 from repro.txn.occ import ValidationConflict
 
-#: One operation of a spec: a parsed action or its XML text.
-Operation = Union[UpdateAction, str]
+
+@dataclass(frozen=True)
+class InvokeOp:
+    """A remote service invocation as one scheduled operation.
+
+    Local operations are update actions; an ``InvokeOp`` instead calls
+    ``method_name`` on ``target_peer`` under the transaction (enlisting
+    the provider — and whatever it delegates to — in the invocation
+    tree).  ``params`` accepts a dict and is normalized to a sorted
+    tuple of pairs so specs stay hashable and frozen.
+    """
+
+    target_peer: str
+    method_name: str
+    params: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "params", tuple(sorted(dict(self.params).items()))
+        )
+
+    @property
+    def params_dict(self) -> Dict[str, str]:
+        return dict(self.params)
+
+
+#: One operation of a spec: a parsed action, its XML text, or a remote
+#: invocation.
+Operation = Union[UpdateAction, str, InvokeOp]
 
 #: Terminal outcomes a transaction can reach under the scheduler.
 COMMITTED = "committed"
@@ -284,25 +311,47 @@ class TransactionScheduler:
         origin = self.network.get_peer(spec.origin)
         if spec.fail_at is not None and index == spec.fail_at:
             # The client abandons mid-transaction: backward recovery.
-            origin.abort(state.txn_id)
+            self._abort_quietly(origin, state.txn_id)
             self._finish(state, ABORTED_FAILURE)
             return
         if index >= len(spec.operations):
             self._try_commit(state)
             return
         try:
-            origin.submit(state.txn_id, spec.operations[index])
+            operation = spec.operations[index]
+            if isinstance(operation, InvokeOp):
+                origin.invoke(
+                    state.txn_id,
+                    operation.target_peer,
+                    operation.method_name,
+                    operation.params_dict,
+                )
+            else:
+                origin.submit(state.txn_id, operation)
         except ReproError:
             # Execution failed (service fault that backward-recovered to
-            # the origin, update error, ...) — the share is already
-            # compensated; account and finish.
+            # the origin, a disconnected provider, update error, ...) —
+            # the share is already compensated; account and finish.
             if origin.manager.has_context(state.txn_id):
                 context = origin.manager.contexts[state.txn_id]
                 if not context.is_finished:
-                    origin.abort(state.txn_id)
+                    self._abort_quietly(origin, state.txn_id)
             self._finish(state, ABORTED_FAILURE)
             return
         self._schedule_op(state, index + 1)
+
+    @staticmethod
+    def _abort_quietly(origin, txn_id: str) -> None:
+        """Abort, tolerating an origin that died under chaos injection.
+
+        A dead origin takes no actions; its share is settled later
+        (``resolve_in_doubt``) when it returns.  Without this guard one
+        dead origin would crash the whole scheduler run.
+        """
+        try:
+            origin.abort(txn_id)
+        except PeerDisconnected:
+            pass
 
     def _try_commit(self, state: _TxnState) -> None:
         origin = self.network.get_peer(state.spec.origin)
@@ -310,6 +359,10 @@ class TransactionScheduler:
             origin.commit(state.txn_id)
         except ValidationConflict:
             self._handle_conflict(state)
+            return
+        except PeerDisconnected:
+            # The origin died right before the decision: nobody commits.
+            self._finish(state, ABORTED_FAILURE)
             return
         self._finish(state, COMMITTED)
 

@@ -19,7 +19,8 @@ def _public_methods(cls) -> set:
 
 def test_api_all_snapshot():
     assert api.__all__ == [
-        "Cluster", "Session", "Transaction", "Outcome", "OutcomeStatus"
+        "Cluster", "Session", "Transaction", "Outcome", "OutcomeStatus",
+        "chaos",
     ]
 
 
