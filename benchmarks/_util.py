@@ -35,3 +35,43 @@ def publish_json(table: ExperimentTable, filename: str, **extra: object) -> str:
     payload = dict(table.to_dict())
     payload.update(extra)
     return write_json_artifact(os.path.join(RESULTS_DIR, filename), payload)
+
+
+#: Schema tag of perf-benchmark artifacts (BENCH_P1.json and friends);
+#: bump when the record shape below changes incompatibly.
+PERF_SCHEMA = "repro-bench-perf/1"
+
+
+def perf_record(
+    bench: str,
+    seed: int,
+    wall_time: float,
+    speedup: float,
+    index_hit_rate: float = None,
+    **extra: object,
+) -> dict:
+    """One machine-readable perf measurement (docs/PERF.md documents it).
+
+    Required fields: ``bench`` (measurement name), ``seed``,
+    ``wall_time`` (seconds, this machine, informational only),
+    ``speedup`` (dimensionless ratio — the gated quantity).
+    ``index_hit_rate`` is the fraction of descendant steps answered from
+    the structural index, when the measurement exercises queries.
+    """
+    record = {
+        "bench": bench,
+        "seed": seed,
+        "wall_time": round(wall_time, 6),
+        "speedup": round(speedup, 4),
+    }
+    if index_hit_rate is not None:
+        record["index_hit_rate"] = round(index_hit_rate, 4)
+    record.update(extra)
+    return record
+
+
+def publish_perf(filename: str, records: list, **extra: object) -> str:
+    """Archive perf records under ``benchmarks/results/`` as strict JSON."""
+    payload = {"schema": PERF_SCHEMA, "records": list(records)}
+    payload.update(extra)
+    return write_json_artifact(os.path.join(RESULTS_DIR, filename), payload)

@@ -1,0 +1,229 @@
+"""P1 — hot-path performance: structural indexes and parallel sweeps.
+
+Two measurements, both gated (a regression makes this script exit 1,
+and CI runs it with ``--smoke`` on every push):
+
+* **Part A — indexed vs. walk-based query evaluation.**  Builds one
+  deep, wide document (depth 6, fanout 8; node-budgeted) and evaluates
+  descendant Select queries with the structural index enabled and then
+  forcibly disabled (:func:`repro.xmlstore.index.index_disabled`).
+  Results and traversal-meter charges must be identical; wall time must
+  not be (gate: indexed strictly faster in smoke, >= 2x in full runs).
+* **Part B — serial vs. parallel C1 chaos sweep.**  Runs the same sweep
+  with ``workers=1`` and ``workers=N`` and requires the rendered table
+  and its JSON payload to be **byte-identical** — the determinism
+  contract of :mod:`repro.sim.parallel` — plus a wall-time reduction
+  whenever the machine actually has >= 2 cores to run on.
+
+Run:  python benchmarks/bench_p1_hot_paths.py [--smoke] [--seed N]
+                                              [--workers N]
+
+The artifact (``benchmarks/results/BENCH_P1.json``, schema
+``repro-bench-perf/1``) is documented in docs/PERF.md.  Speedups and
+byte-identity are machine-independent claims; raw wall times are this
+machine's and are informational only.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.chaos import ChaosConfig, chaos_sweep
+from repro.obs import stable_json
+from repro.obs.prof import PROF
+from repro.query.evaluate import evaluate_select
+from repro.query.parser import parse_select
+from repro.sim.metrics import MetricsCollector
+from repro.sim.parallel import available_cores
+from repro.sim.rng import SeededRng
+from repro.xmlstore.index import index_disabled
+from repro.xmlstore.names import QName
+from repro.xmlstore.nodes import Document, Element
+from repro.xmlstore.path import TraversalMeter
+
+from _util import perf_record, publish_perf
+
+#: Queries of Part A: a bare descendant step and a filtered one (the
+#: paper's ``<location>`` queries are exactly this shape, §3.1).
+QUERIES = (
+    "Select n from n in Bench//needle;",
+    "Select n from n in Bench//needle where n/@rank = 3;",
+)
+
+
+def build_bench_document(depth: int, fanout: int, budget: int, seed: int) -> Document:
+    """A seeded document: full (depth x fanout) tree under a node budget,
+    with sparse ``<needle rank=.../>`` leaves the queries hunt for."""
+    rng = SeededRng(seed)
+    doc = Document("Bench")
+    root = doc.create_root(QName("Bench"))
+    frontier = [root]
+    built = 1
+    for level in range(depth):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(fanout):
+                if built >= budget:
+                    return doc
+                if level >= 2 and rng.random() < 0.03:
+                    child = Element(doc, "needle", {"rank": str(rng.randint(1, 5))})
+                else:
+                    child = Element(doc, rng.choice(["a", "b", "c", "d"]))
+                parent.append(child)
+                next_frontier.append(child)
+                built += 1
+        frontier = next_frontier
+    return doc
+
+
+def bench_queries(args) -> dict:
+    depth, fanout = (6, 8)
+    budget = 4_000 if args.smoke else 40_000
+    reps = 10 if args.smoke else 40
+    doc = build_bench_document(depth, fanout, budget, args.seed)
+    queries = [parse_select(text) for text in QUERIES]
+
+    # Correctness first: identical bindings and identical meter charges,
+    # query by query (the meter is the paper's cost measure — the index
+    # must not change what a run *reports*, only how long it takes).
+    for query in queries:
+        fast_meter, slow_meter = TraversalMeter(), TraversalMeter()
+        fast = evaluate_select(query, doc, fast_meter)
+        with index_disabled():
+            slow = evaluate_select(query, doc, slow_meter)
+        fast_ids = [n.node_id for b in fast.bindings for n in b.nodes()]
+        slow_ids = [n.node_id for b in slow.bindings for n in b.nodes()]
+        assert fast_ids == slow_ids, f"result divergence on {query}"
+        assert fast_meter.nodes_traversed == slow_meter.nodes_traversed, (
+            f"meter divergence on {query}: "
+            f"{fast_meter.nodes_traversed} != {slow_meter.nodes_traversed}"
+        )
+
+    before = PROF.snapshot()
+    start = time.perf_counter()
+    matched = 0
+    for _ in range(reps):
+        for query in queries:
+            matched += len(evaluate_select(query, doc))
+    indexed_time = time.perf_counter() - start
+    delta = PROF.delta_since(before)
+    hits = delta.get("query_index_hits", 0)
+    walks = delta.get("query_tree_walks", 0)
+    hit_rate = hits / (hits + walks) if hits + walks else 0.0
+
+    start = time.perf_counter()
+    with index_disabled():
+        for _ in range(reps):
+            for query in queries:
+                evaluate_select(query, doc)
+    walk_time = time.perf_counter() - start
+
+    speedup = walk_time / indexed_time if indexed_time > 0 else float("inf")
+    print(
+        f"P1/A query eval: {doc.size()} nodes, {reps}x{len(queries)} queries, "
+        f"{matched} matches -> indexed {indexed_time:.4f}s vs walk "
+        f"{walk_time:.4f}s ({speedup:.1f}x, hit rate {hit_rate:.2%})"
+    )
+    return perf_record(
+        "query_indexed_vs_walk",
+        args.seed,
+        indexed_time,
+        speedup,
+        index_hit_rate=hit_rate,
+        depth=depth,
+        fanout=fanout,
+        nodes=doc.size(),
+        reps=reps,
+        queries=len(QUERIES),
+        walk_wall_time=round(walk_time, 6),
+    )
+
+
+def bench_sweep(args) -> dict:
+    base = ChaosConfig(seed=args.seed, txns=8 if args.smoke else 20, providers=4)
+    seeds = range(4) if args.smoke else range(10)
+    kwargs = dict(seeds=seeds, concurrencies=(2, 4), fault_rates=(0.2,))
+
+    start = time.perf_counter()
+    serial_table, serial_failures = chaos_sweep(
+        base, metrics=MetricsCollector(), workers=1, **kwargs
+    )
+    serial_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_table, parallel_failures = chaos_sweep(
+        base, metrics=MetricsCollector(), workers=args.workers, **kwargs
+    )
+    parallel_time = time.perf_counter() - start
+
+    assert serial_table.render() == parallel_table.render(), (
+        "parallel sweep rendered table diverged from serial"
+    )
+    assert stable_json(serial_table.to_dict()) == stable_json(
+        parallel_table.to_dict()
+    ), "parallel sweep JSON payload diverged from serial"
+    assert len(serial_failures) == len(parallel_failures)
+
+    speedup = serial_time / parallel_time if parallel_time > 0 else float("inf")
+    cores = available_cores()
+    print(
+        f"P1/B C1 sweep: {len(list(seeds)) * 2} runs -> serial "
+        f"{serial_time:.3f}s vs {args.workers} workers {parallel_time:.3f}s "
+        f"({speedup:.2f}x on {cores} core(s)); output byte-identical"
+    )
+    return perf_record(
+        "c1_sweep_serial_vs_parallel",
+        args.seed,
+        parallel_time,
+        speedup,
+        workers=args.workers,
+        cores=cores,
+        runs=len(list(seeds)) * 2,
+        byte_identical=True,
+        serial_wall_time=round(serial_time, 6),
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run (used by the CI perf gate)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes for Part B's parallel leg")
+    args = parser.parse_args()
+
+    query_rec = bench_queries(args)
+    sweep_rec = bench_sweep(args)
+
+    suffix = "_smoke" if args.smoke else ""
+    path = publish_perf(
+        f"BENCH_P1{suffix}.json",
+        [query_rec, sweep_rec],
+        smoke=args.smoke,
+    )
+    print(f"json artifact written: {path}")
+
+    # -- gates ------------------------------------------------------------
+    failed = []
+    required = 1.0 if args.smoke else 2.0
+    if query_rec["speedup"] <= required:
+        failed.append(
+            f"indexed query eval speedup {query_rec['speedup']}x <= {required}x"
+        )
+    # Byte-identity was asserted above; wall-time reduction is only a
+    # fair ask when there are >= 2 cores to spread the sweep over.
+    if available_cores() >= 2 and sweep_rec["speedup"] <= 1.0:
+        failed.append(
+            f"parallel sweep speedup {sweep_rec['speedup']}x <= 1x "
+            f"on {available_cores()} cores"
+        )
+    if failed:
+        for reason in failed:
+            print(f"FAILED: {reason}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

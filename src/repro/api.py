@@ -45,7 +45,15 @@ from repro.sim.scheduler import TransactionScheduler
 from repro.txn.operations import OperationOutcome
 from repro.txn.recovery import FaultPolicy
 
-__all__ = ["Cluster", "Session", "Transaction", "Outcome", "OutcomeStatus", "chaos"]
+__all__ = [
+    "Cluster",
+    "Session",
+    "Transaction",
+    "Outcome",
+    "OutcomeStatus",
+    "chaos",
+    "chaos_sweep",
+]
 
 #: peer → list of (child_peer, method) it invokes, the topology shape.
 Topology = Dict[str, List[Tuple[str, str]]]
@@ -456,3 +464,30 @@ def chaos(**config_kwargs):
     from repro.chaos import ChaosConfig, run_chaos
 
     return run_chaos(ChaosConfig(**config_kwargs))
+
+
+def chaos_sweep(seeds, workers: int = 1, metrics=None, **config_kwargs):
+    """Sweep chaos over *seeds*; returns ``(table, failures)``.
+
+    Facade over :func:`repro.chaos.chaos_sweep` with a flat signature:
+    keyword arguments are :class:`~repro.chaos.ChaosConfig` fields for
+    the base config.  ``workers`` > 1 fans the sweep over processes
+    (0 = all cores) with byte-identical output::
+
+        from repro.api import chaos_sweep
+
+        table, failures = chaos_sweep(range(10), workers=4, txns=12)
+        assert not failures, failures[0].violations
+    """
+    from repro.chaos import ChaosConfig
+    from repro.chaos import chaos_sweep as _sweep
+
+    base = ChaosConfig(**config_kwargs)
+    return _sweep(
+        base,
+        seeds=seeds,
+        concurrencies=(base.concurrency,),
+        fault_rates=(base.fault_rate,),
+        metrics=metrics,
+        workers=workers,
+    )

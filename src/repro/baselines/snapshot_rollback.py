@@ -69,8 +69,11 @@ class SnapshotRollback:
         target = axml_document.document
         target.root = None
         target._index.clear()
+        target.index.clear()
+        target._epoch += 1
         if snapshot.root is not None:
             target.root = snapshot.root.clone_into(target, preserve_ids=True)
+            target._epoch += 1
         return True
 
     def release(self, txn_id: str) -> int:

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.chaos.oracle import AtomicityOracle, ExpectedEffect, Violation
 from repro.chaos.planner import CHAOS_FAULT, FaultEvent, FaultPlan, FaultPlanner
 from repro.obs import run_summary
+from repro.obs.prof import profiled
 from repro.p2p.messages import DisconnectNotice, RedirectedResult
 from repro.query.parser import parse_action
 from repro.query.update import apply_action
@@ -351,11 +352,14 @@ def run_chaos(config: ChaosConfig, plan: Optional[FaultPlan] = None) -> ChaosRun
         seed=stable_seed(config.seed, "sched"),
     )
     scheduler.submit_open_loop(specs, rate=config.arrival_rate)
-    results = scheduler.run()
-
-    violations = _settle_and_check(
-        cluster, config, results, expected, mutation
-    )
+    # The whole hot region is profiled: prof counters are logical event
+    # counts, so they land in the summary deterministically (identical
+    # across reruns and across serial vs. parallel sweep execution).
+    with profiled(cluster.metrics):
+        results = scheduler.run()
+        violations = _settle_and_check(
+            cluster, config, results, expected, mutation
+        )
     summary = {
         "version": 1,
         "config": config.to_dict(),
@@ -446,12 +450,41 @@ def rerun(result: ChaosRunResult) -> ChaosRunResult:
 # sweeps
 # ---------------------------------------------------------------------------
 
+def _sweep_row(config: ChaosConfig, result: ChaosRunResult) -> Dict[str, object]:
+    """One table row of a sweep — shared by the serial and parallel paths
+    so both produce byte-identical tables."""
+    committed = sum(1 for r in result.results if r.committed)
+    return {
+        "seed": config.seed,
+        "conc": config.concurrency,
+        "fault_rate": config.fault_rate,
+        "faults": len(result.plan),
+        "txns": len(result.results),
+        "committed": committed,
+        "aborted": len(result.results) - committed,
+        "violations": len(result.violations),
+    }
+
+
+def _sweep_cell(config: ChaosConfig) -> Dict[str, object]:
+    """Worker-side sweep point: run + reduce to a picklable row.
+
+    The full :class:`ChaosRunResult` (cluster, closures) never crosses
+    the process boundary; failing configs are re-run in the parent —
+    runs are deterministic, so the re-run reproduces the exact failure
+    and yields a shrink-ready result object.
+    """
+    result = run_chaos(config)
+    return _sweep_row(config, result)
+
+
 def chaos_sweep(
     base: ChaosConfig,
     seeds: Sequence[int],
     concurrencies: Sequence[int] = (2, 4),
     fault_rates: Sequence[float] = (0.2,),
     metrics=None,
+    workers: int = 1,
 ):
     """Run seeds × concurrency × fault-rate; returns ``(table, failures)``.
 
@@ -460,9 +493,15 @@ def chaos_sweep(
     created when omitted) so sweeps plug into the ``repro.obs``
     reporting pipeline.  ``failures`` holds every failing
     :class:`ChaosRunResult`, ready for shrinking.
+
+    ``workers`` > 1 fans the grid over that many processes (0 = all
+    cores); rows merge in serial order, so the table — and its JSON
+    artifact — is byte-identical to ``workers=1`` (see
+    :mod:`repro.sim.parallel` for the contract).
     """
     from repro.sim.harness import ExperimentTable
     from repro.sim.metrics import MetricsCollector
+    from repro.sim.parallel import parallel_map, resolve_workers
 
     metrics = metrics or MetricsCollector()
     table = ExperimentTable(
@@ -472,32 +511,29 @@ def chaos_sweep(
             "committed", "aborted", "violations",
         ],
     )
+    configs = [
+        replace(base, seed=seed, concurrency=concurrency, fault_rate=fault_rate)
+        for fault_rate in fault_rates
+        for concurrency in concurrencies
+        for seed in seeds
+    ]
     failures: List[ChaosRunResult] = []
-    for fault_rate in fault_rates:
-        for concurrency in concurrencies:
-            for seed in seeds:
-                config = replace(
-                    base,
-                    seed=seed,
-                    concurrency=concurrency,
-                    fault_rate=fault_rate,
-                )
-                result = run_chaos(config)
-                committed = sum(1 for r in result.results if r.committed)
-                table.add_row(
-                    seed=seed,
-                    conc=concurrency,
-                    fault_rate=fault_rate,
-                    faults=len(result.plan),
-                    txns=len(result.results),
-                    committed=committed,
-                    aborted=len(result.results) - committed,
-                    violations=len(result.violations),
-                )
-                metrics.incr("chaos_runs")
-                if result.violations:
-                    metrics.incr("chaos_violations", len(result.violations))
-                    failures.append(result)
+    if resolve_workers(workers, len(configs)) > 1:
+        rows = parallel_map(_sweep_cell, configs, workers)
+        for config, row in zip(configs, rows):
+            table.add_row(**row)
+            metrics.incr("chaos_runs")
+            if row["violations"]:
+                metrics.incr("chaos_violations", row["violations"])
+                failures.append(run_chaos(config))
+    else:
+        for config in configs:
+            result = run_chaos(config)
+            table.add_row(**_sweep_row(config, result))
+            metrics.incr("chaos_runs")
+            if result.violations:
+                metrics.incr("chaos_violations", len(result.violations))
+                failures.append(result)
     table.add_note(
         f"{len(list(seeds)) * len(list(concurrencies)) * len(list(fault_rates))}"
         f" runs, {len(failures)} failing"

@@ -177,6 +177,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             concurrencies=(2, config.concurrency),
             fault_rates=(config.fault_rate,),
             metrics=metrics,
+            workers=args.workers,
         )
         print(table.render())
         print(
@@ -306,7 +307,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """Run the T1 throughput sweep and print its table."""
     from repro.sim.throughput import throughput_sweep
 
-    table = throughput_sweep(seed=args.seed, smoke=args.smoke)
+    table = throughput_sweep(seed=args.seed, smoke=args.smoke, workers=args.workers)
     print(table.render())
     if args.json_out:
         table.write_json(args.json_out)
@@ -360,6 +361,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_b.add_argument("--smoke", action="store_true",
                      help="small fast sweep (used by CI)")
     p_b.add_argument("--seed", type=int, default=7)
+    p_b.add_argument("--workers", type=int, default=1,
+                     help="worker processes for the sweep (0 = all cores; "
+                          "output is byte-identical to serial)")
     p_b.add_argument("--json-out", metavar="PATH",
                      help="also write the table as a JSON artifact")
     p_b.set_defaults(fn=cmd_bench)
@@ -385,6 +389,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="deliberately break the protocol (oracle demo)")
     p_ch.add_argument("--sweep", action="store_true",
                       help="sweep seeds x concurrency x fault-rate")
+    p_ch.add_argument("--workers", type=int, default=1,
+                      help="worker processes for --sweep (0 = all cores; "
+                           "output is byte-identical to serial)")
     p_ch.add_argument("--seeds", type=int, default=10,
                       help="(--sweep) how many seeds, 0..N-1")
     p_ch.add_argument("--replay", metavar="FILE",

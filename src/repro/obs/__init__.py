@@ -12,18 +12,25 @@ platforms (ViP2P, the WebContent XML Store) treat tracing:
   percentiles, recorded alongside the flat counters;
 * :mod:`repro.obs.export` — stable, strictly valid JSON artifacts
   (sorted keys, no ``Infinity``/``NaN``) for cross-run trajectories;
-* :mod:`repro.obs.report` — the ``repro report`` run summary.
+* :mod:`repro.obs.report` — the ``repro report`` run summary;
+* :mod:`repro.obs.prof` — hot-path micro-profiler: index hits vs. tree
+  walks, event-queue ops, message counts, wall-clock timers.
 """
 
 from repro.obs.export import sanitize_for_json, stable_json, write_json_artifact
 from repro.obs.histogram import Histogram
+from repro.obs.prof import PROF, Profiler, profile_summary, profiled
 from repro.obs.report import render_report, run_summary
 from repro.obs.spans import Span, SpanCollector
 
 __all__ = [
     "Histogram",
+    "PROF",
+    "Profiler",
     "Span",
     "SpanCollector",
+    "profile_summary",
+    "profiled",
     "render_report",
     "run_summary",
     "sanitize_for_json",

@@ -1,0 +1,142 @@
+"""Micro-profiler: cheap hot-path counters and wall-clock timers.
+
+The observability layer (spans, histograms) answers *what happened* in
+virtual time; this module answers *why a run was fast or slow* in real
+terms: how often the query layer answered from the structural index vs.
+re-walking the tree, how many event-queue operations the kernel served,
+how many messages crossed the simulated network.
+
+Design constraints:
+
+* **Cheap** — one dict increment per event, no allocation, safe to call
+  from the innermost loops (path-step resolution, the event heap).
+* **Deterministic where it must be** — counters count logical events, so
+  they are identical across reruns and across serial vs. parallel sweep
+  execution; they may be merged into a run's
+  :class:`~repro.sim.metrics.MetricsCollector` (prefixed ``prof_``)
+  without breaking byte-identical summaries.
+* **Honest about time** — wall-clock timers (``perf_counter``) are kept
+  in a separate ``timings`` map that is *never* merged into
+  deterministic summaries; benchmarks read them directly and publish
+  them in ``BENCH_*.json`` artifacts, where wall time belongs.
+
+Counter vocabulary used across the codebase::
+
+    query_index_hits      descendant steps answered from the postings index
+    query_index_skips     fast path declined (candidates > subtree size)
+    query_tree_walks      descendant steps answered by a subtree walk
+    query_walk_nodes      elements visited by those walks
+    comp_log_lookups      O(1) id lookups for compensation-log targets
+    index_rank_rebuilds   epoch-invalidated rank-cache rebuilds
+    eventq_scheduled/_fired/_cancelled/_compactions   kernel heap ops
+    messages_sent         simulated network sends
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+
+class Profiler:
+    """A bag of counters plus accumulated wall-clock timers."""
+
+    __slots__ = ("counters", "timings")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timings: Dict[str, float] = {}
+
+    # -- counters (hot path: keep these two lines) ----------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # -- timers ---------------------------------------------------------
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the block's wall-clock duration under *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.counters)
+
+    def delta_since(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Counter movement since a :meth:`snapshot` (zero deltas dropped)."""
+        return {
+            name: value - before.get(name, 0)
+            for name, value in self.counters.items()
+            if value != before.get(name, 0)
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timings.clear()
+
+    def hit_rate(self, hits: str, misses: str) -> Optional[float]:
+        """``hits / (hits + misses)`` or ``None`` when neither fired."""
+        h, m = self.get(hits), self.get(misses)
+        total = h + m
+        return None if total == 0 else h / total
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+        return f"Profiler({inner})"
+
+
+#: The process-wide profiler every hot path writes to.  Per-run scoping
+#: happens through :func:`profiled`, which reads deltas — resetting the
+#: global between unrelated measurements is only needed in benchmarks.
+PROF = Profiler()
+
+
+@contextmanager
+def profiled(metrics: Any = None, prefix: str = "prof_") -> Iterator[Profiler]:
+    """Capture :data:`PROF` deltas over a block.
+
+    When *metrics* (a :class:`~repro.sim.metrics.MetricsCollector`) is
+    given, the block's counter deltas are merged into it under *prefix*
+    so they surface in ``repro report`` and the run's JSON summary.
+    Timings are deliberately not merged: wall-clock is not deterministic
+    and would poison byte-identical summaries.
+    """
+    before = PROF.snapshot()
+    try:
+        yield PROF
+    finally:
+        if metrics is not None:
+            for name, delta in sorted(PROF.delta_since(before).items()):
+                metrics.incr(prefix + name, delta)
+
+
+def profile_summary(counters: Dict[str, int], prefix: str = "prof_") -> Dict[str, Any]:
+    """The report-facing view of a run's ``prof_*`` counters.
+
+    Returns the counters (prefix stripped) plus the derived index hit
+    rate; empty dict when the run recorded nothing.
+    """
+    profile = {
+        name[len(prefix):]: value
+        for name, value in counters.items()
+        if name.startswith(prefix)
+    }
+    if not profile:
+        return {}
+    hits = profile.get("query_index_hits", 0)
+    walks = profile.get("query_tree_walks", 0)
+    if hits + walks:
+        profile["index_hit_rate"] = round(hits / (hits + walks), 4)
+    return profile

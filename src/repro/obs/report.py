@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.obs.export import sanitize_for_json
+from repro.obs.prof import profile_summary
 
 
 def run_summary(metrics: Any, spans: Any = None) -> Dict[str, Any]:
@@ -47,6 +48,11 @@ def run_summary(metrics: Any, spans: Any = None) -> Dict[str, Any]:
         # Chaos-harness accounting (repro.chaos): runs swept, oracle
         # violations, shares settled after the fact.
         summary["chaos"] = chaos
+    profile = profile_summary(counters)
+    if profile:
+        # Hot-path micro-profile (repro.obs.prof): index hits vs. tree
+        # walks, event-queue churn, derived index hit rate.
+        summary["profile"] = profile
     if spans is not None:
         summary["spans"] = spans.summary()
         summary["slowest_spans"] = [
@@ -113,6 +119,11 @@ def render_report(metrics: Any, spans: Any = None, title: str = "run report") ->
         lines.append("-- chaos --")
         for name, value in sorted(summary["chaos"].items()):
             lines.append(f"  {name:<22} {value}")
+
+    if "profile" in summary:
+        lines.append("-- hot-path profile --")
+        for name, value in sorted(summary["profile"].items()):
+            lines.append(f"  {name:<22} {_format_value(value)}")
 
     if spans is not None:
         span_summary = summary["spans"]

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import QueryEvaluationError
+from repro.obs.prof import PROF
 from repro.query.ast import (
     Comparison,
     Condition,
@@ -104,6 +105,7 @@ def _source_nodes(
     """
     if isinstance(query.source, NodeRef):
         node_id = NodeId.parse(query.source.node_id_text)
+        PROF.incr("comp_log_lookups")
         if not document.has_node(node_id):
             return []
         node = document.get_node(node_id)

@@ -5,6 +5,13 @@ explicitly, so latency and detection-time metrics are exact and runs are
 reproducible.  :class:`EventQueue` holds deferred callbacks (periodic
 service invocations, delayed notifications) ordered by (time, sequence);
 ties break by insertion order, never by object identity.
+
+Cancellation is lazy: a cancelled event stays in the heap until a pop
+skips it, or until cancelled entries outnumber live ones — then the
+queue compacts in one pass (filter + re-heapify).  Long-running chaos
+sweeps cancel timeouts for every transaction that completes normally;
+without compaction those tombstones accumulate for the whole run and
+every push/pop pays log(dead + alive) instead of log(alive).
 """
 
 from __future__ import annotations
@@ -13,6 +20,12 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
+
+from repro.obs.prof import PROF
+
+#: Never compact below this many tombstones — filtering a tiny heap
+#: costs more in constant factors than the tombstones cost in log terms.
+_COMPACT_FLOOR = 8
 
 
 class Clock:
@@ -53,13 +66,18 @@ class _Event:
 class EventHandle:
     """Handle returned by :meth:`EventQueue.schedule`; supports cancel."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_queue")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, queue: "EventQueue"):
         self._event = event
+        self._queue = queue
 
     def cancel(self) -> None:
+        """Cancel the event (idempotent; fired events cancel silently)."""
+        if self._event.cancelled:
+            return
         self._event.cancelled = True
+        self._queue._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -77,6 +95,8 @@ class EventQueue:
         self.clock = clock
         self._heap: List[_Event] = []
         self._seq = itertools.count()
+        #: Tombstones believed to still sit in the heap; drives compaction.
+        self._cancelled = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Run *callback* ``delay`` seconds from now."""
@@ -84,7 +104,33 @@ class EventQueue:
             raise ValueError(f"cannot schedule {delay}s in the past")
         event = _Event(self.clock.now + delay, next(self._seq), callback)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        PROF.incr("eventq_scheduled")
+        return EventHandle(event, self)
+
+    def _note_cancelled(self) -> None:
+        """Count a new tombstone; compact when the dead outnumber the live.
+
+        The 2x threshold keeps amortized cost O(1) per cancellation; the
+        floor keeps tiny queues on the trivial path.  Compaction preserves
+        (time, seq) order exactly — it only removes entries a pop would
+        have skipped anyway — so interleavings are unchanged.
+        """
+        self._cancelled += 1
+        PROF.incr("eventq_cancelled")
+        if self._cancelled >= _COMPACT_FLOOR and self._cancelled * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and restore the heap invariant."""
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        PROF.incr("eventq_compactions")
+
+    def _pop_skipped(self) -> None:
+        """Book-keeping for a cancelled event removed by a pop."""
+        if self._cancelled > 0:
+            self._cancelled -= 1
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Run *callback* at absolute virtual time *time*."""
@@ -97,6 +143,7 @@ class EventQueue:
         """Virtual time of the next live event, or None when drained."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._pop_skipped()
         return self._heap[0].time if self._heap else None
 
     def step(self) -> bool:
@@ -111,8 +158,10 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._pop_skipped()
                 continue
             self.clock.advance_to(event.time)
+            PROF.incr("eventq_fired")
             event.callback()
             return True
         return False
@@ -127,8 +176,10 @@ class EventQueue:
         while self._heap and self._heap[0].time <= deadline:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._pop_skipped()
                 continue
             self.clock.advance_to(event.time)
+            PROF.incr("eventq_fired")
             event.callback()
             fired += 1
             if fired >= max_events:
@@ -144,8 +195,10 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._pop_skipped()
                 continue
             self.clock.advance_to(event.time)
+            PROF.incr("eventq_fired")
             event.callback()
             fired += 1
             if fired >= max_events:

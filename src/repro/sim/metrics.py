@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any, DefaultDict, Dict, List, Optional
 
 from repro.obs.export import stable_json
+from repro.obs.prof import PROF
 from repro.obs.histogram import Histogram
 
 
@@ -109,6 +110,7 @@ class MetricsCollector:
     def record_message(self, kind: str) -> None:
         self.incr("messages")
         self.incr(f"messages.{kind}")
+        PROF.incr("messages_sent")
 
     def record_invocation(self) -> None:
         self.incr("invocations")

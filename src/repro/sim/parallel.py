@@ -1,0 +1,76 @@
+"""Deterministic fan-out of sweep points over worker processes.
+
+A sweep (chaos, throughput) is a grid of *independent* parameter points:
+every point builds its own cluster from its config and seed, runs it,
+and reduces to one row of counts and rounded floats.  Nothing crosses
+point boundaries, so the grid can be evaluated on N processes — as long
+as the *merge* preserves the serial point order, the resulting table is
+byte-identical to serial execution.  That is the determinism contract:
+
+* **Serial is the oracle.**  ``workers <= 1`` (the default everywhere)
+  runs the plain loop in-process; parallel output must match it
+  byte-for-byte, and CI enforces exactly that.
+* **Order by submission, not completion.**  :func:`parallel_map` keeps
+  results in item order (``Pool.map`` semantics), so row order — and
+  therefore the rendered table and its JSON artifact — cannot depend on
+  worker scheduling.
+* **Rows carry no process-local state.**  Sweep cells return counts and
+  rounded floats only — never node ids, object reprs or wall-clock —
+  which the repo's run/rerun byte-identity tests already guarantee.
+
+Workers are forked (POSIX), so cell functions must be module-level
+(picklable) and must not rely on mutated parent globals after the pool
+starts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def available_cores() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-POSIX fallback
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: int, items: int) -> int:
+    """The worker count a sweep will really use.
+
+    ``0`` means "all available cores"; the result is clamped to the
+    number of items (starting idle workers is pure overhead) and floors
+    at 1 (serial).
+    """
+    if workers == 0:
+        workers = available_cores()
+    return max(1, min(workers, items))
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Sequence[T], workers: int = 0
+) -> List[R]:
+    """``[fn(x) for x in items]`` — possibly on *workers* processes.
+
+    Results are returned in item order regardless of completion order.
+    Falls back to the in-process loop when one worker (or fewer than two
+    items) would be used, so the serial path stays the common case and
+    the determinism oracle.  *fn* must be module-level and *items*
+    picklable; exceptions in workers propagate to the caller.
+    """
+    items = list(items)
+    workers = resolve_workers(workers, len(items))
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    # Fork keeps imports warm and is the only start method that allows
+    # the sweep modules' module-level cell functions without re-import
+    # side effects; chunksize=1 because cells are coarse (whole runs).
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=workers) as pool:
+        return pool.map(fn, items, chunksize=1)

@@ -150,18 +150,30 @@ def _rounded(value: Optional[float], digits: int = 4) -> Optional[float]:
     return None if value is None else round(value, digits)
 
 
+def _t1_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-side T1 point (module-level so it forks cleanly)."""
+    return run_throughput_point(**payload)
+
+
 def throughput_sweep(
     seed: int = 7,
     clients_axis: Sequence[int] = (1, 4, 16),
     hot_axis: Sequence[float] = (0.1, 0.9),
     fail_axis: Sequence[float] = (0.0, 0.1),
     smoke: bool = False,
+    workers: int = 1,
 ) -> ExperimentTable:
     """The T1 sweep: concurrency × contention × failure → one table.
 
     ``smoke`` shrinks every axis and the per-point work so CI can run
-    the full pipeline in a couple of seconds.
+    the full pipeline in a couple of seconds.  ``workers`` > 1 evaluates
+    the grid on that many processes (0 = all cores); each point builds
+    its own cluster from (seed, point), and rows merge in serial order,
+    so the table is byte-identical to ``workers=1``
+    (:mod:`repro.sim.parallel`).
     """
+    from repro.sim.parallel import parallel_map
+
     if smoke:
         clients_axis = (1, 2)
         hot_axis = (0.0, 0.9)
@@ -172,12 +184,17 @@ def throughput_sweep(
     table = ExperimentTable(
         "T1: commit throughput under concurrent load (closed loop)", T1_COLUMNS
     )
-    for clients in clients_axis:
-        for hot in hot_axis:
-            for fail in fail_axis:
-                table.add_row(
-                    **run_throughput_point(seed, clients, hot, fail, **point_kwargs)
-                )
+    payloads = [
+        dict(
+            seed=seed, clients=clients, hot_fraction=hot, fail_rate=fail,
+            **point_kwargs,
+        )
+        for clients in clients_axis
+        for hot in hot_axis
+        for fail in fail_axis
+    ]
+    for row in parallel_map(_t1_cell, payloads, workers):
+        table.add_row(**row)
     table.add_note(
         f"seed={seed}; OCC on; conflict aborts retry with exponential "
         "backoff; latencies in simulated seconds"

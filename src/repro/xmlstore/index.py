@@ -1,0 +1,174 @@
+"""Per-document structural indexes over the XML node tree.
+
+The paper's hot paths — ``<location>`` query evaluation (§3.1) and
+compensation-log node lookups — all reduce to two access patterns:
+
+* **id access** — "delete the node having the corresponding ID"; the
+  :class:`~repro.xmlstore.nodes.Document` node map answers this in O(1);
+* **tag access** — descendant steps like ``ATPList//player`` that a
+  plain DOM answers by re-walking the subtree on every evaluation.
+
+:class:`StructuralIndex` adds the tag half: a *postings* index from
+element local name to the elements carrying it, maintained incrementally
+as nodes are created, adopted and vacuumed, plus an epoch-guarded
+document-order rank cache used to answer descendant steps without a tree
+walk.  ViP2P (PAPERS.md) gets its XML-in-P2P performance from exactly
+this move — materialized access structures instead of per-query walks.
+
+Invalidation model
+------------------
+Postings track *existence* (every element owned by the document, attached
+or logically deleted) and are exact at all times.  *Attachment* and
+*document order* are resolved through :meth:`order_ranks`: a pre-order
+walk of the live tree, pruning ``axml`` metadata subtrees, cached against
+the document's mutation epoch.  Any structural mutation (attach, detach,
+id adoption, root creation) bumps the epoch; the next indexed query
+rebuilds the rank map once and every later query reuses it.  A document
+that mutates on every query degrades gracefully to walk cost; a document
+queried repeatedly between mutations amortizes the rebuild to ~0.
+
+The module-level switch (:func:`set_index_enabled`,
+:func:`index_disabled`) lets benchmarks and invalidation tests compare
+indexed answers against fresh full-tree walks.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping
+
+from repro.obs.prof import PROF
+from repro.xmlstore.names import is_axml_meta_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xmlstore.nodes import Document, Element, NodeId
+
+_EMPTY: Dict[object, object] = {}
+
+#: Global switch consulted by the query layer; flipped by benchmarks and
+#: invalidation tests to force the walk-based reference path.
+_ENABLED = True
+
+
+def index_enabled() -> bool:
+    """True when the query layer may consult structural indexes."""
+    return _ENABLED
+
+
+def set_index_enabled(enabled: bool) -> bool:
+    """Set the global index switch; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def index_disabled() -> Iterator[None]:
+    """Force walk-based evaluation within the block (bench/test oracle)."""
+    previous = set_index_enabled(False)
+    try:
+        yield
+    finally:
+        set_index_enabled(previous)
+
+
+class StructuralIndex:
+    """Tag-name postings + epoch-cached document-order ranks for one document."""
+
+    __slots__ = ("_document", "_postings", "_rank_epoch", "_ranks")
+
+    def __init__(self, document: "Document"):
+        self._document = document
+        #: local name → insertion-ordered {NodeId: Element} postings.
+        self._postings: Dict[str, Dict["NodeId", "Element"]] = {}
+        self._rank_epoch = -1
+        self._ranks: Dict["NodeId", int] = {}
+
+    # -- incremental maintenance (driven by the node layer) -----------------
+
+    def add_element(self, element: "Element") -> None:
+        """Register a newly created element under its local name."""
+        self._postings.setdefault(element.name.local, {})[element.node_id] = element
+
+    def rekey_element(self, element: "Element", old_id: "NodeId") -> None:
+        """Move an element's posting after :meth:`Document._adopt_id`."""
+        bucket = self._postings.get(element.name.local)
+        if bucket is not None:
+            bucket.pop(old_id, None)
+            bucket[element.node_id] = element
+
+    def drop_id(self, node_id: "NodeId") -> None:
+        """Forget a vacuumed id (the element may be any local name)."""
+        for bucket in self._postings.values():
+            if bucket.pop(node_id, None) is not None:
+                return
+
+    def drop_element(self, element: "Element") -> None:
+        """Forget a vacuumed element (cheap path when the node is known)."""
+        bucket = self._postings.get(element.name.local)
+        if bucket is not None:
+            bucket.pop(element.node_id, None)
+
+    def clear(self) -> None:
+        """Drop everything; pairs with a wholesale node-map reset
+        (snapshot rollback swaps the entire tree out from under us)."""
+        self._postings.clear()
+        self._ranks = {}
+        self._rank_epoch = -1
+
+    # -- queries ------------------------------------------------------------
+
+    def postings(self, local_name: str) -> Mapping["NodeId", "Element"]:
+        """Every element of the document (attached or not) with that name."""
+        return self._postings.get(local_name, _EMPTY)
+
+    def order_ranks(self) -> Dict["NodeId", int]:
+        """Pre-order rank of every *live* element, pruning axml metadata.
+
+        Membership in the returned map is the attachment test: an element
+        has a rank iff it is reachable from the root without crossing an
+        ``axml:params``/handler subtree — exactly the set a logical
+        descendant walk can reach.  Rebuilt lazily when the document's
+        mutation epoch moved; reused byte-for-byte otherwise.
+        """
+        document = self._document
+        epoch = document.mutation_epoch
+        if epoch == self._rank_epoch:
+            return self._ranks
+        ranks: Dict["NodeId", int] = {}
+        root = document.root
+        if root is not None:
+            rank = 0
+            stack = [root]
+            while stack:
+                element = stack.pop()
+                ranks[element.node_id] = rank
+                rank += 1
+                for child in reversed(element.children):
+                    name = getattr(child, "name", None)
+                    if name is not None and not is_axml_meta_name(name):
+                        stack.append(child)
+        self._ranks = ranks
+        self._rank_epoch = epoch
+        PROF.incr("index_rank_rebuilds")
+        return ranks
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for reports and tests (sizes, epoch, cache state)."""
+        return {
+            "tags": len(self._postings),
+            "entries": sum(len(bucket) for bucket in self._postings.values()),
+            "epoch": self._document.mutation_epoch,
+            "rank_cache_epoch": self._rank_epoch,
+            "ranked": len(self._ranks),
+        }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"StructuralIndex(tags={stats['tags']}, entries={stats['entries']}, "
+            f"epoch={stats['epoch']})"
+        )

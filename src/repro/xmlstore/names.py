@@ -85,3 +85,19 @@ CATCH_NAME = QName("catch", AXML_PREFIX)
 CATCHALL_NAME = QName("catchAll", AXML_PREFIX)
 #: QName of the retry construct.
 RETRY_NAME = QName("retry", AXML_PREFIX)
+
+#: Local names of the AXML machinery elements that are call *metadata*
+#: (params, fault handlers) rather than document content.  Query
+#: evaluation and the structural index both prune these subtrees, so the
+#: predicate lives here where every layer can share it.
+AXML_META_LOCALS = frozenset({"params", "catch", "catchAll", "retry"})
+
+
+def is_sc_name(name: QName) -> bool:
+    """True for ``axml:sc``, the embedded service-call container."""
+    return name.prefix == AXML_PREFIX and name.local == "sc"
+
+
+def is_axml_meta_name(name: QName) -> bool:
+    """True for the call-metadata elements (never document content)."""
+    return name.prefix == AXML_PREFIX and name.local in AXML_META_LOCALS

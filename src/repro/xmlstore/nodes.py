@@ -28,7 +28,8 @@ import itertools
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import NodeNotFound, XmlStructureError
-from repro.xmlstore.names import QName
+from repro.xmlstore.index import StructuralIndex
+from repro.xmlstore.names import QName, is_axml_meta_name
 
 _document_counter = itertools.count(1)
 
@@ -154,6 +155,7 @@ class Node:
         after = self.following_sibling()
         parent.children.pop(idx)
         self.parent = None
+        self._document._note_detach(parent, self)
         return DetachRecord(
             node=self,
             parent_id=parent.node_id,
@@ -230,9 +232,18 @@ class Text(Node):
 
 
 class Element(Node):
-    """An element node with a qualified name, attributes and children."""
+    """An element node with a qualified name, attributes and children.
 
-    __slots__ = ("name", "attributes", "children")
+    ``_logical_count`` is the element count of the *logical* subtree —
+    descendant-or-self elements, pruning ``axml`` metadata regions —
+    which is exactly how many nodes a descendant walk
+    (:func:`repro.xmlstore.path._logical_descendants`) would visit.  It
+    is maintained incrementally on attach/detach so indexed descendant
+    steps can charge the :class:`~repro.xmlstore.path.TraversalMeter`
+    the same logical cost as the walk they replace.
+    """
+
+    __slots__ = ("name", "attributes", "children", "_logical_count")
 
     def __init__(
         self,
@@ -244,6 +255,8 @@ class Element(Node):
         self.name: QName = QName.parse(name) if isinstance(name, str) else name
         self.attributes: Dict[str, str] = dict(attributes or {})
         self.children: List[Node] = []
+        self._logical_count = 1
+        document.index.add_element(self)
 
     # -- construction helpers -------------------------------------------------
 
@@ -252,6 +265,7 @@ class Element(Node):
         self._check_adoptable(child)
         child.parent = self
         self.children.append(child)
+        self._document._note_attach(self, child)
         return child
 
     def insert_at(self, index: int, child: Node) -> Node:
@@ -260,6 +274,7 @@ class Element(Node):
         index = max(0, min(index, len(self.children)))
         child.parent = self
         self.children.insert(index, child)
+        self._document._note_attach(self, child)
         return child
 
     def insert_before(self, anchor: Node, child: Node) -> Node:
@@ -369,6 +384,8 @@ class Document:
         self.serial = next(_document_counter)
         self._next_node_serial = itertools.count(1)
         self._index: Dict[NodeId, Node] = {}
+        self._epoch = 0
+        self.index = StructuralIndex(self)
         self.root: Optional[Element] = None
 
     # -- id management -----------------------------------------------------------
@@ -380,9 +397,30 @@ class Document:
 
     def _adopt_id(self, node: Node, node_id: NodeId) -> None:
         """Re-register *node* under a preserved foreign id."""
-        del self._index[node.node_id]
+        old_id = node.node_id
+        del self._index[old_id]
         node.node_id = node_id
         self._index[node_id] = node
+        if isinstance(node, Element):
+            self.index.rekey_element(node, old_id)
+        self._epoch += 1
+
+    # -- structural bookkeeping ---------------------------------------------------
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotonic counter of structural mutations; guards index caches."""
+        return self._epoch
+
+    def _note_attach(self, parent: Element, child: Node) -> None:
+        self._epoch += 1
+        if isinstance(child, Element) and not is_axml_meta_name(child.name):
+            _propagate_logical_count(parent, child._logical_count)
+
+    def _note_detach(self, parent: Element, child: Node) -> None:
+        self._epoch += 1
+        if isinstance(child, Element) and not is_axml_meta_name(child.name):
+            _propagate_logical_count(parent, -child._logical_count)
 
     # -- construction --------------------------------------------------------------
 
@@ -393,6 +431,7 @@ class Document:
         if self.root is not None:
             raise XmlStructureError("document already has a root element")
         self.root = Element(self, name, attributes)
+        self._epoch += 1
         return self.root
 
     def create_element(
@@ -447,7 +486,9 @@ class Document:
             reachable = {node.node_id for node in self.root.iter()}
         dead = [node_id for node_id in self._index if node_id not in reachable]
         for node_id in dead:
-            del self._index[node_id]
+            node = self._index.pop(node_id)
+            if isinstance(node, Element):
+                self.index.drop_element(node)
         return len(dead)
 
     def clone(self, preserve_ids: bool = True) -> "Document":
@@ -455,10 +496,27 @@ class Document:
         copy = Document(self.name)
         if self.root is not None:
             copy.root = self.root.clone_into(copy, preserve_ids=preserve_ids)
+            copy._epoch += 1
         return copy
 
     def __repr__(self) -> str:
         return f"Document({self.name!r}, serial=d{self.serial}, size={self.size()})"
+
+
+def _propagate_logical_count(parent: Element, delta: int) -> None:
+    """Add *delta* logical elements to *parent* and its counting ancestors.
+
+    A subtree contributes to every ancestor up to — and including — the
+    first ``axml`` metadata element on the path: metadata elements count
+    their own descendants but are pruned from their parent's logical
+    subtree, so propagation stops there.
+    """
+    node: Optional[Element] = parent
+    while node is not None:
+        node._logical_count += delta
+        if is_axml_meta_name(node.name):
+            break
+        node = node.parent
 
 
 def walk_match(

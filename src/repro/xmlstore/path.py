@@ -20,10 +20,17 @@ recovery, and experiment E7 reads this meter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.errors import QuerySyntaxError
-from repro.xmlstore.names import QName, is_valid_name
+from repro.obs.prof import PROF
+from repro.xmlstore.index import index_enabled
+from repro.xmlstore.names import (
+    QName,
+    is_axml_meta_name,
+    is_sc_name,
+    is_valid_name,
+)
 from repro.xmlstore.nodes import Document, Element, Node
 
 
@@ -187,8 +194,14 @@ def _apply_step(
                 if _name_matches(step, child):
                     result.append(child)
     elif step.axis == "descendant":
+        indexed = _indexed_descendants(step, context, meter)
+        if indexed is not None:
+            return indexed
+        PROF.incr("query_tree_walks")
         for node in context:
-            for descendant in _logical_descendants(node):
+            descendants = _logical_descendants(node)
+            PROF.incr("query_walk_nodes", len(descendants))
+            for descendant in descendants:
                 meter.touch()
                 if _name_matches(step, descendant):
                     result.append(descendant)
@@ -202,21 +215,74 @@ def _apply_step(
     return result
 
 
+def _indexed_descendants(
+    step: Step, context: List[Element], meter: TraversalMeter
+) -> Optional[List[Element]]:
+    """Answer a named descendant step from the document's structural index.
+
+    Returns None (fall back to the subtree walk) when the fast path does
+    not apply: the index is disabled, the name test is ``*``, there are
+    multiple context nodes (walk order is per-context, not global), the
+    context itself sits outside the live logical tree, or the postings
+    list is larger than the context's logical subtree (walking is
+    cheaper).  When it does answer, the traversal meter is charged the
+    *logical* visit count — the same number of nodes the walk would have
+    touched — so the paper's traversal-cost experiments (§3.2, E7) keep
+    their semantics regardless of which path ran.
+    """
+    if step.name is None or len(context) != 1 or not index_enabled():
+        return None
+    ctx = context[0]
+    document = ctx.document
+    ranks = document.index.order_ranks()
+    if ctx.node_id not in ranks:
+        return None  # detached or metadata-shadowed context: walk it
+    postings = document.index.postings(step.name.local)
+    logical = ctx._logical_count
+    if len(postings) > logical:
+        PROF.incr("query_index_skips")
+        return None
+    meter.touch(logical)
+    PROF.incr("query_index_hits")
+    is_root = ctx.parent is None
+    matches: List[Tuple[int, Element]] = []
+    for element in postings.values():
+        rank = ranks.get(element.node_id)
+        if rank is None:
+            continue  # logically deleted, or inside an axml metadata region
+        if not _name_matches(step, element):
+            continue
+        if not is_root and not _has_ancestor_or_self(element, ctx):
+            continue
+        matches.append((rank, element))
+    matches.sort()
+    return [element for _, element in matches]
+
+
+def _has_ancestor_or_self(element: Element, ancestor: Element) -> bool:
+    node: Optional[Element] = element
+    while node is not None:
+        if node is ancestor:
+            return True
+        node = node.parent
+    return False
+
+
 # AXML transparency (paper §1/§3.1): the results of an embedded service
 # call logically stand where the ``axml:sc`` element sits, so ``p/points``
 # must find ``<points>`` inside ``<axml:sc …><points>890</points></axml:sc>``.
 # Conversely, call *metadata* (params, fault handlers) is never document
 # content.  An explicit ``axml:``-prefixed name test still addresses the
-# machinery itself.
-_AXML_META_LOCALS = frozenset({"params", "catch", "catchAll", "retry"})
+# machinery itself.  The predicates live in :mod:`repro.xmlstore.names`
+# so the structural index prunes exactly the same subtrees.
 
 
 def _is_sc(element: Element) -> bool:
-    return element.name.prefix == "axml" and element.name.local == "sc"
+    return is_sc_name(element.name)
 
 
 def _is_axml_meta(element: Element) -> bool:
-    return element.name.prefix == "axml" and element.name.local in _AXML_META_LOCALS
+    return is_axml_meta_name(element.name)
 
 
 def _logical_children(node: Element, step: Step) -> List[Element]:

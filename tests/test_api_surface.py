@@ -20,7 +20,7 @@ def _public_methods(cls) -> set:
 def test_api_all_snapshot():
     assert api.__all__ == [
         "Cluster", "Session", "Transaction", "Outcome", "OutcomeStatus",
-        "chaos",
+        "chaos", "chaos_sweep",
     ]
 
 

@@ -1,0 +1,59 @@
+"""Property tests for NodeId: parse/repr round-trip, eq/hash laws.
+
+NodeIds are the system's addressability primitive (§3.1: "delete the
+node having the corresponding ID") and are used as dict keys in the
+node map, the structural index postings and the operation log — so the
+string form must round-trip exactly and equality must agree with hash.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xmlstore.nodes import NodeId
+
+serials = st.integers(min_value=0, max_value=10**9)
+
+
+@given(serials, serials)
+def test_repr_parse_round_trip(doc_serial, node_serial):
+    node_id = NodeId(doc_serial, node_serial)
+    assert NodeId.parse(repr(node_id)) == node_id
+
+
+@given(serials, serials)
+def test_eq_hash_consistency(doc_serial, node_serial):
+    a = NodeId(doc_serial, node_serial)
+    b = NodeId(doc_serial, node_serial)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+@given(serials, serials, serials, serials)
+def test_distinct_pairs_are_unequal(d1, n1, d2, n2):
+    a, b = NodeId(d1, n1), NodeId(d2, n2)
+    assert (a == b) == ((d1, n1) == (d2, n2))
+
+
+@given(serials, serials)
+def test_not_equal_to_other_types(doc_serial, node_serial):
+    node_id = NodeId(doc_serial, node_serial)
+    assert node_id != repr(node_id)
+    assert node_id != (doc_serial, node_serial)
+
+
+@pytest.mark.parametrize("text", [
+    "", "d1", "n1", "d1n2", "d1.m2", "x1.n2", "d.n", "d1.n2.n3",
+    "d-1.n2x", "dd1.n2", "1.2",
+])
+def test_malformed_rejected(text):
+    with pytest.raises(ValueError):
+        NodeId.parse(text)
+
+
+@given(serials, serials)
+def test_parse_is_canonical(doc_serial, node_serial):
+    # repr is the only accepted spelling: whitespace variants fail.
+    node_id = NodeId(doc_serial, node_serial)
+    with pytest.raises(ValueError):
+        NodeId.parse(f" {node_id!r}")

@@ -1,0 +1,245 @@
+"""Structural index (repro.xmlstore.index): maintenance, invalidation,
+meter parity.
+
+The contract under test: with the index enabled, every query returns the
+same nodes in the same order AND charges the traversal meter the same
+count as a fresh full-tree walk — after any interleaving of mutations,
+including compensation replay.
+"""
+
+from repro.query.evaluate import evaluate_select
+from repro.query.parser import parse_action, parse_select
+from repro.query.update import apply_action
+from repro.sim.rng import SeededRng
+from repro.txn.compensation import compensating_actions_for
+from repro.xmlstore.index import index_disabled, index_enabled, set_index_enabled
+from repro.xmlstore.names import QName
+from repro.xmlstore.nodes import Document, Element
+from repro.xmlstore.parser import parse_document
+from repro.xmlstore.path import TraversalMeter, parse_path
+from repro.xmlstore.serializer import canonical
+
+ATP = (
+    "<ATPList>"
+    '<player rank="1"><name><lastname>Federer</lastname></name>'
+    "<citizenship>Swiss</citizenship><points>475</points></player>"
+    '<player rank="2"><name><lastname>Nadal</lastname></name>'
+    "<citizenship>Spanish</citizenship></player>"
+    '<player rank="3"><name><lastname>Roddick</lastname></name>'
+    "<citizenship>American</citizenship></player>"
+    "</ATPList>"
+)
+
+
+def assert_parity(doc, path_text):
+    """Indexed answer == walk answer, nodes, order and meter charge."""
+    path = parse_path(path_text)
+    fast_meter, slow_meter = TraversalMeter(), TraversalMeter()
+    fast = path.evaluate(doc, fast_meter)
+    with index_disabled():
+        slow = path.evaluate(doc, slow_meter)
+    assert [n.node_id for n in fast] == [n.node_id for n in slow], path_text
+    assert fast_meter.nodes_traversed == slow_meter.nodes_traversed, path_text
+    return fast
+
+
+class TestPostingsMaintenance:
+    def test_new_elements_are_indexed(self):
+        doc = parse_document(ATP, name="ATPList")
+        assert len(doc.index.postings("player")) == 3
+        assert len(doc.index.postings("lastname")) == 3
+        assert len(doc.index.postings("nosuch")) == 0
+
+    def test_detach_keeps_posting_but_hides_from_queries(self):
+        doc = parse_document(ATP, name="ATPList")
+        player = parse_path("ATPList//player").evaluate(doc)[0]
+        player.detach()
+        # Existence is tracked (the id stays resolvable for compensation)...
+        assert len(doc.index.postings("player")) == 3
+        # ...but the live-tree rank map no longer contains it.
+        assert player.node_id not in doc.index.order_ranks()
+        assert len(assert_parity(doc, "ATPList//player")) == 2
+
+    def test_vacuum_drops_postings(self):
+        doc = parse_document(ATP, name="ATPList")
+        player = parse_path("ATPList//player").evaluate(doc)[0]
+        player.detach()
+        assert doc.vacuum() > 0
+        assert len(doc.index.postings("player")) == 2
+
+    def test_clone_into_preserved_ids_rekeys(self):
+        doc = parse_document(ATP, name="ATPList")
+        copy = doc.clone(preserve_ids=True)
+        assert len(copy.index.postings("player")) == 3
+        originals = set(doc.index.postings("player"))
+        assert set(copy.index.postings("player")) == originals
+        assert_parity(copy, "ATPList//player")
+
+    def test_epoch_moves_on_every_structural_mutation(self):
+        doc = Document("ATPList")
+        root = doc.create_root(QName("ATPList"))
+        e0 = doc.mutation_epoch
+        child = root.append(Element(doc, "player"))
+        assert doc.mutation_epoch > e0
+        e1 = doc.mutation_epoch
+        child.detach()
+        assert doc.mutation_epoch > e1
+
+    def test_rank_cache_reused_between_mutations(self):
+        doc = parse_document(ATP, name="ATPList")
+        first = doc.index.order_ranks()
+        assert doc.index.order_ranks() is first  # same epoch, same object
+        parse_path("ATPList//player").evaluate(doc)[0].detach()
+        assert doc.index.order_ranks() is not first
+
+
+class TestMeterParity:
+    def test_logical_count_matches_walk_everywhere(self):
+        from repro.xmlstore.path import _logical_descendants
+
+        doc = parse_document(ATP, name="ATPList")
+        for element in doc.index.postings("player").values():
+            assert element._logical_count == len(_logical_descendants(element))
+        assert doc.root._logical_count == len(_logical_descendants(doc.root))
+
+    def test_logical_count_tracks_mutations(self):
+        from repro.xmlstore.path import _logical_descendants
+
+        doc = parse_document(ATP, name="ATPList")
+        player = parse_path("ATPList//player").evaluate(doc)[0]
+        player.append(Element(doc, "coach"))
+        player.children[0].detach()
+        for element in list(doc.index.postings("player").values()) + [doc.root]:
+            if element.is_attached() or element.parent is None:
+                assert element._logical_count == len(_logical_descendants(element))
+
+    def test_axml_metadata_is_pruned_from_counts(self):
+        doc = parse_document(
+            "<r><axml:sc xmlns:axml='x' service='S'>"
+            "<axml:params><axml:param name='p'>1</axml:param></axml:params>"
+            "<points>9</points></axml:sc></r>",
+            name="r",
+        )
+        from repro.xmlstore.path import _logical_descendants
+
+        assert doc.root._logical_count == len(_logical_descendants(doc.root))
+        # The sc container expands; params stay invisible.
+        assert_parity(doc, "r//points")
+        assert_parity(doc, "r//param")
+
+
+class TestMutateUnderQuery:
+    """The satellite scenario: every mutation step re-checked against a
+    fresh walk — insert, delete, replace, and compensation replay."""
+
+    ACTIONS = (
+        '<action type="insert"><data><coach>Lundgren</coach></data>'
+        "<location>Select p from p in ATPList//player "
+        "where p/name/lastname = Federer;</location></action>",
+        '<action type="delete"><location>Select c from c in '
+        "ATPList//player/citizenship;</location></action>",
+        '<action type="replace"><data><points>500</points></data>'
+        "<location>Select pt from pt in ATPList//points;</location></action>",
+    )
+    PATHS = ("ATPList//player", "ATPList//citizenship", "ATPList//points",
+             "ATPList//lastname", "ATPList//coach")
+
+    def test_insert_delete_replace_interleaved_with_queries(self):
+        doc = parse_document(ATP, name="ATPList")
+        for action_xml in self.ACTIONS:
+            apply_action(doc, parse_action(action_xml))
+            for path_text in self.PATHS:
+                assert_parity(doc, path_text)
+
+    def test_compensation_replay_keeps_index_exact(self):
+        doc = parse_document(ATP, name="ATPList")
+        pre = canonical(doc)
+        for action_xml in self.ACTIONS:
+            result = apply_action(doc, parse_action(action_xml))
+            for action in compensating_actions_for(result, "ATPList", True):
+                apply_action(doc, action, tolerate_missing_targets=True)
+                for path_text in self.PATHS:
+                    assert_parity(doc, path_text)
+        assert canonical(doc) == pre  # compensation restored the document
+
+    def test_randomized_equivalence(self):
+        rng = SeededRng(41)
+        doc = Document("R")
+        root = doc.create_root(QName("R"))
+        live = [root]
+        for step in range(120):
+            roll = rng.random()
+            if roll < 0.55 or len(live) < 3:
+                parent = rng.choice(live)
+                child = parent.append(
+                    Element(doc, rng.choice(["a", "b", "c"]))
+                )
+                live.append(child)
+            else:
+                victim = rng.choice(live[1:])
+                if victim.is_attached():
+                    victim.detach()
+                    live = [
+                        e for e in live
+                        if e is doc.root or e.is_attached()
+                    ]
+            if step % 10 == 0:
+                for name in ("a", "b", "c"):
+                    assert_parity(doc, f"R//{name}")
+        for name in ("a", "b", "c"):
+            assert_parity(doc, f"R//{name}")
+
+
+class TestSelectEvaluationParity:
+    def test_select_with_where_and_selects(self):
+        doc = parse_document(ATP, name="ATPList")
+        query = parse_select(
+            "Select p/citizenship from p in ATPList//player "
+            "where p/name/lastname = Nadal;"
+        )
+        fast_meter, slow_meter = TraversalMeter(), TraversalMeter()
+        fast = evaluate_select(query, doc, fast_meter)
+        with index_disabled():
+            slow = evaluate_select(query, doc, slow_meter)
+        assert fast.texts() == slow.texts() == ["Spanish"]
+        assert fast_meter.nodes_traversed == slow_meter.nodes_traversed
+
+
+class TestToggle:
+    def test_disabled_context_restores(self):
+        assert index_enabled()
+        with index_disabled():
+            assert not index_enabled()
+            with index_disabled():
+                assert not index_enabled()
+            assert not index_enabled()
+        assert index_enabled()
+
+    def test_set_returns_previous(self):
+        assert set_index_enabled(False) is True
+        try:
+            assert set_index_enabled(True) is False
+        finally:
+            set_index_enabled(True)
+
+
+class TestSnapshotRollbackInvalidation:
+    def test_rollback_resets_index(self):
+        from repro.axml.document import AXMLDocument
+        from repro.baselines.snapshot_rollback import SnapshotRollback
+
+        doc = parse_document(ATP, name="ATPList")
+        axml = AXMLDocument(doc)
+        guard = SnapshotRollback()
+        guard.guard("t1", axml)
+        apply_action(doc, parse_action(self_delete()))
+        assert len(assert_parity(doc, "ATPList//player")) == 0
+        assert guard.rollback("t1", axml)
+        assert len(assert_parity(doc, "ATPList//player")) == 3
+
+
+def self_delete() -> str:
+    return (
+        '<action type="delete"><location>Select p from p in '
+        "ATPList//player;</location></action>"
+    )
