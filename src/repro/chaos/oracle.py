@@ -21,7 +21,11 @@ relaxed-atomicity contract:
   matches the scheduler's outcome (``unfinished_context`` /
   ``outcome_mismatch``);
 * no peer still holds an active-peer chain entry for a settled
-  transaction (``orphan_chain``).
+  transaction (``orphan_chain``);
+* a durable peer's on-disk WAL tail agrees with its in-memory log
+  (``wal_tail_inconsistent``): the same live entry seqs, and no torn
+  frames after a settled run — the disk ↔ memory check
+  (``wal_tail_consistent`` predicate, see ``docs/DURABILITY.md``).
 
 Each failed predicate becomes a :class:`Violation`; runs are judged by
 ``violations == []``.  The exact predicates are documented (with their
@@ -46,6 +50,7 @@ VIOLATION_KINDS = (
     "unfinished_context",
     "outcome_mismatch",
     "orphan_chain",
+    "wal_tail_inconsistent",
 )
 
 _MARKER = re.compile(r"<chaos\b([^>]*?)/?>")
@@ -123,6 +128,7 @@ class AtomicityOracle:
         violations.extend(self._check_logs(peers))
         violations.extend(self._check_contexts(peers))
         violations.extend(self._check_chains(peers))
+        violations.extend(self._check_wal_tails(peers))
         return sorted(
             violations,
             key=lambda v: (v.kind, v.label, v.peer, v.document, v.detail),
@@ -219,5 +225,37 @@ class AtomicityOracle:
                 violations.append(Violation(
                     "orphan_chain", label, peer_id,
                     detail="chain entry survived settlement",
+                ))
+        return violations
+
+    def _check_wal_tails(self, peers: Mapping[str, object]) -> List[Violation]:
+        """``wal_tail_consistent``: on-disk WAL ≡ in-memory log.
+
+        After settlement every commit/abort was mirrored to disk via
+        tombstones, so a durable peer's WAL must recover exactly the
+        live entry seqs its in-memory log holds, with no torn frames.
+        Details carry counts and seqs only — never filesystem paths,
+        which would break byte-identical summaries.
+        """
+        violations: List[Violation] = []
+        for peer_id, peer in sorted(peers.items()):
+            wal = getattr(peer, "wal", None)
+            if wal is None:
+                continue
+            scan = wal.load()
+            if scan.torn:
+                violations.append(Violation(
+                    "wal_tail_inconsistent", peer=peer_id,
+                    detail="torn frames in a settled WAL",
+                ))
+            disk_seqs = [entry.seq for entry in scan.entries]
+            memory_seqs = sorted(e.seq for e in peer.manager.log)
+            if disk_seqs != memory_seqs:
+                violations.append(Violation(
+                    "wal_tail_inconsistent", peer=peer_id,
+                    detail=(
+                        f"disk live seqs {disk_seqs} != "
+                        f"in-memory seqs {memory_seqs}"
+                    ),
                 ))
         return violations

@@ -17,7 +17,14 @@ the failure dimensions of §3.2–§3.3:
   network message hook.  Only the §3.3 effort-optimization messages
   (``DisconnectNotice``, ``RedirectedResult``) are interfered with: the
   paper's protocol treats them as best-effort, while commit/abort
-  decisions are assumed reliable (see ``docs/CHAOS.md``).
+  decisions are assumed reliable (see ``docs/CHAOS.md``);
+* ``crash`` — a provider's *process* dies at a protocol point, losing
+  all volatile state (contexts, in-memory log, chains); it restarts
+  ``delay`` later and recovers from its durable WAL
+  (``rejoin(mode="in_doubt")``, see ``docs/DURABILITY.md``).  Only
+  planned when the run enables ``durability``, and sampled from a
+  *separate* RNG stream so existing seeds' plans keep their exact
+  event prefix.
 
 Every event is a plain dataclass that round-trips through JSON, so a
 plan can be minimized (``repro.chaos.shrink``) and replayed from a
@@ -35,7 +42,13 @@ from repro.sim.rng import SeededRng, stable_seed
 #: with ``handlers=True`` install retry policies keyed on it.
 CHAOS_FAULT = "ChaosFault"
 
-KINDS = ("service_fault", "disconnect", "disconnect_point", "message_chaos")
+KINDS = (
+    "service_fault",
+    "disconnect",
+    "disconnect_point",
+    "message_chaos",
+    "crash",
+)
 
 
 @dataclass(frozen=True)
@@ -52,6 +65,7 @@ class FaultEvent:
     drop_rate: float = 0.0  # kind=message_chaos
     delay_rate: float = 0.0
     max_delay: float = 0.0
+    delay: float = 0.0      # restart delay (kind=crash)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe dict with defaulted fields elided (stable, compact)."""
@@ -111,6 +125,7 @@ class FaultPlanner:
         fault_rate: float,
         horizon: float,
         disconnect_origins: bool = False,
+        crash_rate: float = 0.0,
     ):
         self.seed = seed
         self.providers = list(providers)
@@ -119,6 +134,7 @@ class FaultPlanner:
         self.fault_rate = fault_rate
         self.horizon = horizon
         self.disconnect_origins = disconnect_origins
+        self.crash_rate = crash_rate
 
     def plan(self) -> FaultPlan:
         rng = SeededRng(stable_seed(self.seed, "plan"))
@@ -136,6 +152,13 @@ class FaultPlanner:
             else:
                 message_chaos_used = True
                 events.append(self._message_chaos(rng))
+        # Crash events come from their own stream, appended after the
+        # main events: a plan for an existing seed with crash_rate=0
+        # is byte-identical to what earlier versions produced.
+        if self.crash_rate > 0 and self.providers:
+            crash_rng = SeededRng(stable_seed(self.seed, "crashplan"))
+            for _ in range(int(round(self.crash_rate * self.txns))):
+                events.append(self._crash(crash_rng))
         return FaultPlan(tuple(events))
 
     # -- samplers ------------------------------------------------------
@@ -173,6 +196,18 @@ class FaultPlanner:
             trigger=trigger,
             method=self.provider_methods[trigger],
             point=rng.choice(["after_local_work", "before_return"]),
+        )
+
+    def _crash(self, rng: SeededRng) -> FaultEvent:
+        peer = rng.choice(self.providers)
+        from repro.p2p.failure import POINTS
+
+        return FaultEvent(
+            kind="crash",
+            peer=peer,
+            method=self.provider_methods[peer],
+            point=rng.choice(list(POINTS)),
+            delay=round(rng.uniform(0.2, 1.0), 4),
         )
 
     def _message_chaos(self, rng: SeededRng) -> FaultEvent:

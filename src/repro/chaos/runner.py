@@ -57,6 +57,9 @@ MUTATIONS = (
     "skip_undo",      # drop one undo entry before compensating -> compensation_missing
     "double_apply",   # apply one insert twice, log it once      -> effect_duplicated
     "stale_chain",    # skip one forget_transaction              -> orphan_chain
+    # drop the newest disk-recovered entry at restart -> compensation_missing
+    # (proves recovery replays from the on-disk WAL, not volatile state)
+    "crash_skip_undo",
 )
 
 
@@ -76,6 +79,10 @@ class ChaosConfig:
     op_gap: float = 0.01
     handlers: bool = False
     mutate: str = ""
+    #: Give every provider a durable on-disk WAL (scratch directories).
+    durability: bool = False
+    #: Expected crash events per run = crash_rate * txns (needs durability).
+    crash_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.mutate and self.mutate not in MUTATIONS:
@@ -84,6 +91,16 @@ class ChaosConfig:
             )
         if self.providers < 1 or self.origins < 1 or self.txns < 1:
             raise ValueError("providers, origins and txns must all be >= 1")
+        if self.crash_rate > 0 and not self.durability:
+            raise ValueError(
+                "crash_rate > 0 requires durability=True: a crashed peer "
+                "without an on-disk WAL loses its log unrecoverably"
+            )
+        if self.mutate == "crash_skip_undo" and not self.durability:
+            raise ValueError(
+                "mutate='crash_skip_undo' targets WAL recovery; it "
+                "requires durability=True"
+            )
 
     @property
     def horizon(self) -> float:
@@ -161,13 +178,24 @@ def build_chaos_cluster(config: ChaosConfig):
     from repro.api import Cluster
 
     cluster = Cluster()
+    scratch = None
+    if config.durability:
+        from repro.sim.kernel import ScratchSpace
+
+        scratch = ScratchSpace()
+    #: The run's scratch root (None without durability); run_chaos
+    #: removes it after the oracle sweep.
+    cluster.scratch = scratch
     origins = [f"C{j}" for j in range(1, config.origins + 1)]
     providers = [f"AP{i}" for i in range(1, config.providers + 1)]
     for j, origin in enumerate(origins, start=1):
         cluster.add_peer(origin, super_peer=True)
         cluster.host_document(origin, f"<O{j}><items/></O{j}>", name=f"O{j}")
     for i, provider in enumerate(providers, start=1):
-        cluster.add_peer(provider)
+        peer_kwargs = {}
+        if scratch is not None:
+            peer_kwargs["durability"] = scratch.path(provider)
+        cluster.add_peer(provider, **peer_kwargs)
         cluster.host_document(provider, f"<D{i}><items/></D{i}>", name=f"D{i}")
         delegations = [
             (f"AP{c}", f"S{c}") for c in _provider_children(i, config.providers)
@@ -255,6 +283,11 @@ def apply_plan(cluster, config: ChaosConfig, plan: FaultPlan) -> None:
             )
         elif event.kind == "message_chaos":
             message_event = event
+        elif event.kind == "crash":
+            cluster.injector.crash_peer_during(
+                event.peer, event.method, event.point,
+                restart_delay=event.delay,
+            )
         else:
             raise ValueError(f"unknown fault event kind {event.kind!r}")
     if message_event is not None:
@@ -321,6 +354,32 @@ def _install_double_apply(cluster, providers: Sequence[str], state: _MutationSta
         peer.record_changes = mutated
 
 
+def _install_crash_skip_undo(
+    cluster, providers: Sequence[str], state: _MutationState
+) -> None:
+    """First crash recovery silently loses its newest disk-recovered
+    entry — the across-a-restart analogue of ``skip_undo``.
+
+    If this is *not* flagged, the restarted peer was compensating from
+    somewhere other than the on-disk WAL.
+    """
+    for provider in providers:
+        wal = cluster.peer(provider).wal
+        if wal is None:
+            continue
+
+        def mutated(_wal=wal, _orig=wal.reload):
+            entries = _orig()
+            if not state.fired and entries:
+                dropped = entries[-1]
+                _wal._live = [e for e in _wal._live if e.seq != dropped.seq]
+                state.fired = True
+                return entries[:-1]
+            return entries
+
+        wal.reload = mutated
+
+
 # ---------------------------------------------------------------------------
 # the run
 # ---------------------------------------------------------------------------
@@ -328,52 +387,75 @@ def _install_double_apply(cluster, providers: Sequence[str], state: _MutationSta
 def run_chaos(config: ChaosConfig, plan: Optional[FaultPlan] = None) -> ChaosRunResult:
     """Execute one chaos run; pass *plan* to replay/shrink a schedule."""
     cluster, origins, providers = build_chaos_cluster(config)
-    if plan is None:
-        plan = FaultPlanner(
-            seed=config.seed,
-            providers=providers,
-            provider_methods={p: f"S{p[2:]}" for p in providers},
-            txns=config.txns,
-            fault_rate=config.fault_rate,
-            horizon=config.horizon,
-        ).plan()
-    apply_plan(cluster, config, plan)
+    try:
+        if plan is None:
+            plan = FaultPlanner(
+                seed=config.seed,
+                providers=providers,
+                provider_methods={p: f"S{p[2:]}" for p in providers},
+                txns=config.txns,
+                fault_rate=config.fault_rate,
+                horizon=config.horizon,
+                crash_rate=config.crash_rate,
+            ).plan()
+        apply_plan(cluster, config, plan)
 
-    mutation = _MutationState()
-    if config.mutate == "skip_undo":
-        _install_skip_undo(cluster, providers, mutation)
-    elif config.mutate == "double_apply":
-        _install_double_apply(cluster, providers, mutation)
+        mutation = _MutationState()
+        if config.mutate == "skip_undo":
+            _install_skip_undo(cluster, providers, mutation)
+        elif config.mutate == "double_apply":
+            _install_double_apply(cluster, providers, mutation)
+        elif config.mutate == "crash_skip_undo":
+            _install_crash_skip_undo(cluster, providers, mutation)
 
-    specs, expected = generate_workload(config, origins, providers)
-    scheduler = cluster.scheduler(
-        max_inflight=config.concurrency,
-        op_gap=config.op_gap,
-        seed=stable_seed(config.seed, "sched"),
-    )
-    scheduler.submit_open_loop(specs, rate=config.arrival_rate)
-    # The whole hot region is profiled: prof counters are logical event
-    # counts, so they land in the summary deterministically (identical
-    # across reruns and across serial vs. parallel sweep execution).
-    with profiled(cluster.metrics):
-        results = scheduler.run()
-        violations = _settle_and_check(
-            cluster, config, results, expected, mutation
+        specs, expected = generate_workload(config, origins, providers)
+        scheduler = cluster.scheduler(
+            max_inflight=config.concurrency,
+            op_gap=config.op_gap,
+            seed=stable_seed(config.seed, "sched"),
         )
-    summary = {
-        "version": 1,
-        "config": config.to_dict(),
-        "plan": plan.to_dict(),
-        "outcomes": {r.label: r.status for r in sorted(results, key=lambda r: r.label)},
-        "violations": [v.to_dict() for v in violations],
-        "metrics": run_summary(cluster.metrics),
-    }
-    cluster.metrics.incr("chaos_runs")
-    if violations:
-        cluster.metrics.incr("chaos_violations", len(violations))
-    return ChaosRunResult(
-        config, plan, results, violations, summary, cluster, expected
-    )
+        scheduler.submit_open_loop(specs, rate=config.arrival_rate)
+        # The whole hot region is profiled: prof counters are logical event
+        # counts, so they land in the summary deterministically (identical
+        # across reruns and across serial vs. parallel sweep execution).
+        with profiled(cluster.metrics):
+            results = scheduler.run()
+            violations = _settle_and_check(
+                cluster, config, results, expected, mutation
+            )
+        summary = {
+            "version": 1,
+            "config": config.to_dict(),
+            "plan": plan.to_dict(),
+            "outcomes": {r.label: r.status for r in sorted(results, key=lambda r: r.label)},
+            "violations": [v.to_dict() for v in violations],
+            "metrics": run_summary(cluster.metrics),
+        }
+        cluster.metrics.incr("chaos_runs")
+        if violations:
+            cluster.metrics.incr("chaos_violations", len(violations))
+        return ChaosRunResult(
+            config, plan, results, violations, summary, cluster, expected
+        )
+    finally:
+        _cleanup_durability(cluster)
+
+
+def _cleanup_durability(cluster) -> None:
+    """Close WAL handles and remove the run's scratch root.
+
+    Runs after the oracle sweep (which reads the WALs), so no tempdir
+    artifact outlives the run even when it raised.
+    """
+    scratch = getattr(cluster, "scratch", None)
+    if scratch is None:
+        return
+    for peer in cluster.peers.values():
+        if peer.wal is not None:
+            peer.wal.close()
+            if peer.manager.log is not None:
+                peer.manager.log.sink = None
+    scratch.cleanup()
 
 
 def _settle_and_check(
@@ -432,6 +514,11 @@ def describe_plan(plan: FaultPlan) -> List[str]:
             lines.append(
                 f"disconnect {event.peer} while {event.trigger} runs "
                 f"{event.method} [{event.point}]"
+            )
+        elif event.kind == "crash":
+            lines.append(
+                f"crash {event.peer} during {event.method} [{event.point}] "
+                f"restart after {event.delay}"
             )
         else:
             lines.append(

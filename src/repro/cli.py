@@ -167,6 +167,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         fault_rate=args.fault_rate,
         handlers=args.handlers,
         mutate=args.mutate or "",
+        # crash faults need the WAL; enable it implicitly with them.
+        durability=bool(args.durability or args.crash_rate > 0
+                        or args.mutate == "crash_skip_undo"),
+        crash_rate=args.crash_rate,
     )
 
     if args.sweep:
@@ -385,8 +389,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_ch.add_argument("--handlers", action="store_true",
                       help="install retry fault policies (forward recovery)")
     p_ch.add_argument("--mutate", choices=("skip_undo", "double_apply",
-                                           "stale_chain"),
+                                           "stale_chain", "crash_skip_undo"),
                       help="deliberately break the protocol (oracle demo)")
+    p_ch.add_argument("--crash-rate", type=float, default=0.0,
+                      help="planned crash-and-restart faults per transaction "
+                           "(implies --durability)")
+    p_ch.add_argument("--durability", action="store_true",
+                      help="give providers an on-disk WAL (crash recovery)")
     p_ch.add_argument("--sweep", action="store_true",
                       help="sweep seeds x concurrency x fault-rate")
     p_ch.add_argument("--workers", type=int, default=1,

@@ -36,6 +36,9 @@ class FailureInjector:
         self._faults: Dict[Tuple[str, str, str], _FaultScript] = {}
         #: (trigger_peer, method, point) → peer to disconnect ("" = spent).
         self._disconnects: Dict[Tuple[str, str, str], str] = {}
+        #: (trigger_peer, method, point) → (dead peer, restart delay);
+        #: "" as dead peer = spent.
+        self._crashes: Dict[Tuple[str, str, str], Tuple[str, float]] = {}
 
     # -- scripting ---------------------------------------------------------
 
@@ -89,6 +92,26 @@ class FailureInjector:
             raise ValueError(f"unknown injection point {point!r}; use one of {POINTS}")
         self._disconnects[(trigger_peer, method_name, point)] = dead_peer
 
+    def crash_peer_during(
+        self,
+        peer_id: str,
+        method_name: str,
+        point: str = "after_local_work",
+        restart_delay: float = 0.5,
+    ) -> None:
+        """Crash *peer_id* when it reaches an execution point of
+        *method_name*, then restart it *restart_delay* later.
+
+        A crash (``AXMLPeer.crash``) loses all volatile state — unlike a
+        scripted disconnection, which only severs links.  The restart
+        drives ``rejoin(mode="in_doubt")``: the peer recovers its
+        operation log from the durable WAL and rebuilds in-doubt
+        contexts for a later commit/abort decision.
+        """
+        if point not in POINTS:
+            raise ValueError(f"unknown injection point {point!r}; use one of {POINTS}")
+        self._crashes[(peer_id, method_name, point)] = (peer_id, restart_delay)
+
     def disconnect_at(self, peer_id: str, time: float) -> None:
         """Disconnect *peer_id* at an absolute virtual time."""
         self.network.events.schedule_at(
@@ -96,9 +119,10 @@ class FailureInjector:
         )
 
     def clear(self) -> None:
-        """Drop every un-fired fault/disconnect script."""
+        """Drop every un-fired fault/disconnect/crash script."""
         self._faults.clear()
         self._disconnects.clear()
+        self._crashes.clear()
 
     # -- hooks consulted by peers -----------------------------------------------
 
@@ -119,6 +143,21 @@ class FailureInjector:
         Returns True when the *executing* peer itself was disconnected.
         """
         key = (peer_id, method_name, point)
+        crash = self._crashes.get(key)
+        if crash and crash[0]:
+            dead_peer, delay = crash
+            self._crashes[key] = ("", 0.0)
+            peer = self.network.get_peer(dead_peer)
+            peer.crash()
+            # Restart is unconditional: settlement's run_all() fires it
+            # even when nothing else is pending, so no crashed peer is
+            # left dead (and un-recovered) at oracle time.
+            self.network.events.schedule(
+                delay,
+                lambda p=peer: p.rejoin(mode="in_doubt") if p.disconnected else None,
+            )
+            if dead_peer == peer_id:
+                return True
         dead_peer = self._disconnects.get(key)
         if not dead_peer:
             return False

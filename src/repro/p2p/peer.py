@@ -71,6 +71,7 @@ class AXMLPeer:
         occ: bool = False,
         injector=None,
         seed: int = 0,
+        durability: Optional[str] = None,
     ):
         self.peer_id = peer_id
         self.network = network
@@ -103,6 +104,18 @@ class AXMLPeer:
         self.manager = TransactionManager(
             peer_id, self.get_axml_document, validator=validator
         )
+        #: Crash durability: a directory path enables the on-disk WAL
+        #: (:mod:`repro.txn.durable_wal`); ``None`` keeps the log
+        #: memory-only and peers fail by disconnecting, never crashing.
+        self.durability = durability
+        self.wal = None
+        if durability:
+            from repro.txn.durable_wal import DurableWal
+
+            self.wal = DurableWal(
+                durability, peer_id=peer_id, metrics=network.metrics
+            )
+            self.manager.log.sink = self.wal
         # Per-peer stream derived with a process-stable digest — never
         # hash(), whose per-process salting (PYTHONHASHSEED) would make
         # "seeded" runs irreproducible across interpreter processes.
@@ -949,10 +962,50 @@ class AXMLPeer:
             handle.cancel()
 
     # ------------------------------------------------------------------
+    # crash (process death: volatile state lost, disk survives)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill this peer's process: every volatile structure is lost.
+
+        Unlike a *disconnection* (state intact, links down), a crash
+        drops the in-memory operation log, transaction contexts, chain
+        views, reuse caches and pending work.  Hosted documents model
+        the peer's durable store and survive, as does the on-disk WAL
+        directory when ``durability`` is enabled — that WAL is the only
+        route back to compensating in-flight shares after a restart
+        (:meth:`rejoin` with ``mode="in_doubt"``).
+
+        The executing-transaction stack is deliberately left alone: a
+        crash mid-service unwinds through ``handle_invoke``'s normal
+        exception path, which pops its own frame.
+        """
+        self.network.disconnect(self.peer_id)
+        self.disconnected = True
+        self.manager.contexts.clear()
+        from repro.txn.wal import OperationLog
+
+        self.manager.log = OperationLog(self.peer_id)
+        if self.wal is not None:
+            self.wal.close()
+        self.chains.clear()
+        self.reusable_results.clear()
+        self._incoming_reuse.clear()
+        self.known_doomed.clear()
+        for txn_id in list(self._pending_work):
+            self._cancel_pending_work(txn_id)
+        self._txn_spans.clear()
+        self.network.metrics.incr("peer_crashes")
+
+    # ------------------------------------------------------------------
     # rejoin (the P2P churn story: peers "joining and leaving arbitrarily")
     # ------------------------------------------------------------------
 
-    def rejoin(self, restored_log_text: Optional[str] = None) -> int:
+    def rejoin(
+        self,
+        restored_log_text: Optional[str] = None,
+        mode: str = "compensate",
+    ) -> int:
         """Rejoin the network, compensating in-flight transactions.
 
         While this peer was gone, the rest of the system treated it as
@@ -962,31 +1015,76 @@ class AXMLPeer:
         everything needed (§3.1's logging discipline pays off here).
 
         ``restored_log_text`` replays a log serialized with
-        :meth:`repro.txn.wal.OperationLog.to_text` — the restart-from-
-        disk story, where in-memory contexts are gone but the log
-        survives.  Returns the number of transactions compensated.
+        :meth:`repro.txn.wal.OperationLog.to_text`; with no text but a
+        durable WAL attached (``durability=``), the log is recovered
+        from disk (:meth:`repro.txn.durable_wal.DurableWal.reload`) —
+        the restart-from-disk story, where in-memory contexts are gone
+        but the log survives.
+
+        ``mode`` decides what happens to the recovered transactions:
+
+        * ``"compensate"`` (default): compensate every recovered share
+          immediately — correct when the rest of the system already
+          aborted around the dead peer.
+        * ``"in_doubt"``: rebuild an ``ACTIVE`` context per recovered
+          transaction and leave the decision to a later
+          :meth:`resolve_in_doubt`.  Required after a *crash*: a share
+          whose invocation completed before the crash may belong to a
+          transaction that globally committed — compensating it
+          unconditionally would undo committed work.
+
+        Returns the number of transactions compensated (or, in
+        ``"in_doubt"`` mode, rebuilt as in-doubt).
         """
         from repro.txn.wal import OperationLog
 
+        if mode not in ("compensate", "in_doubt"):
+            raise ValueError(f"unknown rejoin mode {mode!r}")
         self.network.reconnect(self.peer_id)
         self.disconnected = False
         compensated = 0
+        restored = None
         if restored_log_text is not None:
             restored = OperationLog.from_text(restored_log_text)
+        elif self.wal is not None:
+            restored = OperationLog.from_entries(
+                self.peer_id, self.wal.reload()
+            )
+            restored.sink = self.wal
+        if restored is not None:
             self.manager.log = restored
-            txn_ids = {entry.txn_id for entry in restored}
-            for txn_id in txn_ids:
-                from repro.txn.operations import build_compensation
+            txn_ids = sorted({entry.txn_id for entry in restored})
+            if mode == "in_doubt":
+                for txn_id in txn_ids:
+                    context = self.manager.begin(
+                        Transaction(txn_id, self.peer_id)
+                    )
+                    context.log_seqs = [
+                        e.seq for e in restored.entries_for(txn_id)
+                    ]
+                    compensated += 1
+            else:
+                for txn_id in txn_ids:
+                    from repro.txn.operations import build_compensation
 
-                for plan in build_compensation(restored, txn_id):
-                    document = self.get_axml_document(plan.document_name).document
-                    plan.execute(document)
-                restored.truncate(txn_id)
-                compensated += 1
-                # Rebuild a finished context so later messages are ignored.
-                context = self.manager.contexts.get(txn_id)
-                if context is not None and not context.is_finished:
-                    self.manager.mark_aborted_without_compensation(txn_id)
+                    for plan in build_compensation(restored, txn_id):
+                        document = self.get_axml_document(
+                            plan.document_name
+                        ).document
+                        plan.execute(document)
+                    restored.truncate(txn_id)
+                    compensated += 1
+                    self.network.metrics.incr("recovery_replays")
+                    # Rebuild a finished context so later messages are
+                    # ignored.
+                    context = self.manager.contexts.get(txn_id)
+                    if context is not None and not context.is_finished:
+                        self.manager.mark_aborted_without_compensation(txn_id)
+                # Volatile contexts that never wrote a log entry have
+                # nothing on disk; abort them too.
+                for txn_id in list(self.manager.active_transactions()):
+                    self.manager.abort_local(txn_id)
+                    compensated += 1
         else:
             for txn_id in list(self.manager.active_transactions()):
                 self.manager.abort_local(txn_id)

@@ -1,0 +1,305 @@
+"""Crash-durable write-ahead log for the §3.1 operation log.
+
+The paper's operation log exists so a *recovering* peer can construct
+compensations after a failure, which only works if the log outlives the
+process.  :class:`DurableWal` is an incremental append-only on-disk WAL
+that a peer attaches to its in-memory :class:`~repro.txn.wal.OperationLog`
+via the :class:`~repro.txn.wal.LogSink` hook: every appended
+:class:`~repro.txn.wal.LogEntry` is streamed to disk *at append time* as
+a self-delimiting frame (the entry's own XML encoding, see
+:func:`repro.txn.wal.entry_to_xml`), and every commit/abort-time
+``truncate`` is recorded as a tombstone frame.
+
+Segment format (``wal-000001.seg``, ``wal-000002.seg``, …)::
+
+    AXMLWAL 1 <peer_id>\\n          header line
+    E <payload-bytes>\\n<xml>\\n     one log entry (entry_to_xml text)
+    T <payload-bytes>\\n<txn-id>\\n  tombstone: txn's entries truncated
+
+Torn-tail rule: a scan reads frames in order and stops at the first
+frame whose header is malformed, whose payload is shorter than its
+declared length, or whose entry ``seq`` is not strictly greater than the
+previous entry's in the same segment.  Everything before that point is
+the durable prefix; the tail is discarded (and physically truncated by
+:meth:`reload`, the restart path).  Because a frame is only appended
+after the in-memory log accepted the entry, the durable prefix is always
+a consistent prefix of what the peer had applied.
+
+Tombstones are compacted at segment rollover: once
+``segment_max_frames`` frames accumulate, the still-live entries are
+rewritten into a fresh segment and older segments are deleted, so
+committed transactions stop occupying disk.  A crash between writing the
+new segment and deleting the old one is safe — a scan merges segments by
+``seq`` (later occurrences win) and re-applies tombstones.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.txn.wal import LogEntry, entry_bytes, entry_from_xml, entry_to_xml
+
+MAGIC = "AXMLWAL"
+VERSION = 1
+
+
+@dataclass
+class WalScan:
+    """Result of a read-only pass over the WAL directory."""
+
+    entries: List[LogEntry] = field(default_factory=list)
+    #: True when a torn tail (incomplete or seq-regressing frame) was
+    #: detected and discarded during the scan.
+    torn: bool = False
+    #: Frames (entries + tombstones) read from the durable prefix.
+    frames: int = 0
+
+
+class DurableWal:
+    """Append-only segmented WAL for one peer (a :class:`LogSink`).
+
+    ``metrics`` (a :class:`repro.sim.metrics.MetricsCollector`) receives
+    ``wal_appends`` / ``wal_bytes`` / ``wal_tombstones`` /
+    ``wal_compactions`` counters.  ``wal_bytes`` counts *logical*
+    payload bytes (:func:`repro.txn.wal.entry_bytes`), not frame
+    lengths — frame lengths embed process-global serials and would make
+    summaries non-deterministic.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        peer_id: str = "",
+        metrics=None,
+        segment_max_frames: int = 256,
+    ):
+        if segment_max_frames < 2:
+            raise ValueError("segment_max_frames must be >= 2")
+        self.directory = directory
+        self.peer_id = peer_id
+        self.metrics = metrics
+        self.segment_max_frames = segment_max_frames
+        os.makedirs(directory, exist_ok=True)
+        #: Mirror of the live (not-yet-truncated) entries, for rollover.
+        self._live: List[LogEntry] = []
+        #: Per-segment byte offset of the durable prefix (set by scans).
+        self._good_offsets: Dict[str, int] = {}
+        self._fh = None
+        self._segment_index = 0
+        self._segment_frames = 0
+        existing = self._segment_paths()
+        if existing:
+            # Adopt an existing directory (restart): scan + truncate tail.
+            self.reload()
+        else:
+            self._open_segment(1)
+
+    # -- paths ------------------------------------------------------------
+
+    def _segment_name(self, index: int) -> str:
+        return f"wal-{index:06d}.seg"
+
+    def _segment_paths(self) -> List[str]:
+        try:
+            names = sorted(
+                n for n in os.listdir(self.directory)
+                if n.startswith("wal-") and n.endswith(".seg")
+            )
+        except FileNotFoundError:
+            return []
+        return [os.path.join(self.directory, n) for n in names]
+
+    def _open_segment(self, index: int) -> None:
+        self._segment_index = index
+        self._segment_frames = 0
+        path = os.path.join(self.directory, self._segment_name(index))
+        self._fh = open(path, "ab")
+        if self._fh.tell() == 0:
+            self._fh.write(f"{MAGIC} {VERSION} {self.peer_id}\n".encode("utf-8"))
+            self._fh.flush()
+
+    def _incr(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.incr(name, amount)
+
+    # -- LogSink ----------------------------------------------------------
+
+    def on_append(self, entry: LogEntry) -> None:
+        self._write_frame("E", entry_to_xml(entry))
+        self._live.append(entry)
+        self._incr("wal_appends")
+        self._incr("wal_bytes", entry_bytes(entry))
+        self._maybe_rollover()
+
+    def on_truncate(self, txn_id: str) -> None:
+        self._write_frame("T", txn_id)
+        self._live = [e for e in self._live if e.txn_id != txn_id]
+        self._incr("wal_tombstones")
+        self._maybe_rollover()
+
+    # -- framing ----------------------------------------------------------
+
+    def _write_frame(self, kind: str, payload: str) -> None:
+        if self._fh is None:
+            raise RuntimeError("DurableWal is closed")
+        data = payload.encode("utf-8")
+        self._fh.write(f"{kind} {len(data)}\n".encode("ascii"))
+        self._fh.write(data)
+        self._fh.write(b"\n")
+        self._fh.flush()
+        self._segment_frames += 1
+
+    def _maybe_rollover(self) -> None:
+        if self._segment_frames < self.segment_max_frames:
+            return
+        old_paths = self._segment_paths()
+        self._fh.close()
+        self._open_segment(self._segment_index + 1)
+        for entry in self._live:
+            self._write_frame("E", entry_to_xml(entry))
+        new_path = os.path.join(
+            self.directory, self._segment_name(self._segment_index)
+        )
+        for path in old_paths:
+            if path != new_path:
+                os.unlink(path)
+        self._incr("wal_compactions")
+
+    # -- scanning ---------------------------------------------------------
+
+    def load(self) -> WalScan:
+        """Read-only scan: durable live entries, sorted by seq.
+
+        Merges all segments (later occurrence of a seq wins), applies
+        tombstones, and discards any torn tail without modifying disk.
+        """
+        by_seq: Dict[int, LogEntry] = {}
+        tombstoned: Set[str] = set()
+        torn = False
+        frames = 0
+        for path in self._segment_paths():
+            seg_frames, seg_torn = self._scan_segment(path, by_seq, tombstoned)
+            frames += seg_frames
+            torn = torn or seg_torn
+        live = [
+            e for _, e in sorted(by_seq.items())
+            if e.txn_id not in tombstoned
+        ]
+        return WalScan(entries=live, torn=torn, frames=frames)
+
+    def _scan_segment(self, path, by_seq, tombstoned):
+        """Scan one segment into *by_seq*/*tombstoned*.
+
+        Returns ``(good_frames, torn)``; as a side effect records the
+        byte offset of the durable prefix in ``self._good_offsets``.
+        """
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        newline = blob.find(b"\n")
+        header_ok = newline >= 0 and blob[:newline].decode(
+            "utf-8", "replace"
+        ).startswith(f"{MAGIC} {VERSION}")
+        if not header_ok:
+            self._good_offsets[path] = 0
+            return 0, True
+        pos = newline + 1
+        good = pos
+        frames = 0
+        torn = False
+        last_seq = 0
+        while pos < len(blob):
+            frame = self._read_frame(blob, pos)
+            if frame is None:
+                torn = True
+                break
+            kind, payload, pos = frame
+            if kind == "E":
+                try:
+                    entry = entry_from_xml(payload)
+                except Exception:
+                    torn = True
+                    break
+                if entry.seq <= last_seq:
+                    # Seq regression: a stale tail from before a crash.
+                    torn = True
+                    break
+                last_seq = entry.seq
+                by_seq[entry.seq] = entry
+            elif kind == "T":
+                tombstoned.add(payload)
+            else:
+                torn = True
+                break
+            good = pos
+            frames += 1
+        self._good_offsets[path] = good
+        return frames, torn
+
+    @staticmethod
+    def _read_frame(blob: bytes, pos: int):
+        newline = blob.find(b"\n", pos)
+        if newline < 0:
+            return None
+        header = blob[pos:newline].decode("utf-8", "replace").split(" ")
+        if len(header) != 2 or header[0] not in ("E", "T"):
+            return None
+        try:
+            length = int(header[1])
+        except ValueError:
+            return None
+        start = newline + 1
+        end = start + length
+        if end + 1 > len(blob) or blob[end:end + 1] != b"\n":
+            return None
+        return header[0], blob[start:end].decode("utf-8"), end + 1
+
+    # -- restart ----------------------------------------------------------
+
+    def reload(self) -> List[LogEntry]:
+        """Restart path: scan, discard any torn tail, and compact the
+        durable live entries into a fresh segment.  Returns the live
+        entries (sorted by seq) for the peer to rebuild its log from.
+
+        Always starting a new segment (rather than appending to the old
+        tail) keeps the within-segment seq-monotonicity invariant even
+        when the restarted peer's seq counter restarts below the old
+        tail's highest seq.
+        """
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        self._good_offsets = {}
+        scan = self.load()
+        if scan.torn:
+            self._incr("wal_torn_tails")
+        self._live = list(scan.entries)
+        old_paths = self._segment_paths()
+        last_index = (
+            int(os.path.basename(old_paths[-1])[4:-4]) if old_paths else 0
+        )
+        self._open_segment(last_index + 1)
+        for entry in self._live:
+            self._write_frame("E", entry_to_xml(entry))
+        new_path = os.path.join(
+            self.directory, self._segment_name(self._segment_index)
+        )
+        for path in old_paths:
+            if path != new_path:
+                os.unlink(path)
+        self._incr("wal_reloads")
+        return list(self._live)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "DurableWal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -140,15 +140,16 @@ def attempt_forward_recovery(
     retries = 0
     while retries < policy.retry_times:
         retries += 1
-        if policy.retry_wait > 0:
-            wait(policy.retry_wait)
         use_alternative = bool(policy.alternative_peer) and (
             not original_target_alive() or retries > 1
         )
-        attempt_target = policy.alternative_peer if use_alternative else target_peer
         if not use_alternative and not original_target_alive():
-            # Original is gone and no replica: this retry cannot succeed.
-            continue
+            # Original is gone and no replica: no retry can succeed —
+            # don't burn (simulated) wait time on doomed attempts.
+            break
+        if policy.retry_wait > 0:
+            wait(policy.retry_wait)
+        attempt_target = policy.alternative_peer if use_alternative else target_peer
         try:
             fragments = reinvoke(attempt_target, method_name, params)
             return RecoveryDecision(

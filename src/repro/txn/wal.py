@@ -6,17 +6,19 @@ possible: "the delete operations as well as the results of the
 operations log the returned node ids, and query operations log the
 change records of every service-call materialization they triggered.
 
-The log is append-only and in-memory (durability is out of the paper's
-scope — peers fail by *disconnecting*, not by losing state), but it
-round-trips through a text form so tests can assert exactly what a
-recovering peer would see.
+The log is append-only.  It lives in memory, round-trips through a text
+form (:meth:`OperationLog.to_text` / :meth:`OperationLog.from_text`),
+and can be made crash-durable by attaching a :class:`LogSink` — see
+:mod:`repro.txn.durable_wal`, which streams every entry to disk at
+append time so a peer that dies mid-transaction can rebuild its log on
+restart and compensate from it (``AXMLPeer.rejoin``).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Protocol, Sequence
 
 from repro.query.update import ChangeRecord
 
@@ -44,6 +46,20 @@ class LogEntry:
         return bool(self.records)
 
 
+class LogSink(Protocol):
+    """Durability hook: observes the log's mutations as they happen.
+
+    ``on_append`` runs *after* the entry joined the in-memory log;
+    ``on_truncate`` runs after a finished transaction's entries were
+    dropped.  :class:`repro.txn.durable_wal.DurableWal` implements this
+    protocol with an on-disk segment file.
+    """
+
+    def on_append(self, entry: LogEntry) -> None: ...
+
+    def on_truncate(self, txn_id: str) -> None: ...
+
+
 class OperationLog:
     """Append-only operation log of one peer."""
 
@@ -51,6 +67,8 @@ class OperationLog:
         self.peer_id = peer_id
         self._entries: List[LogEntry] = []
         self._seq = itertools.count(1)
+        #: Optional durability sink (see :class:`LogSink`).
+        self.sink: Optional[LogSink] = None
 
     def append(
         self,
@@ -72,6 +90,8 @@ class OperationLog:
             timestamp=timestamp,
         )
         self._entries.append(entry)
+        if self.sink is not None:
+            self.sink.on_append(entry)
         return entry
 
     # -- reading ----------------------------------------------------------
@@ -113,24 +133,23 @@ class OperationLog:
         """
         before = len(self._entries)
         self._entries = [e for e in self._entries if e.txn_id != txn_id]
-        return before - len(self._entries)
+        removed = before - len(self._entries)
+        if removed and self.sink is not None:
+            self.sink.on_truncate(txn_id)
+        return removed
 
     # -- diagnostics --------------------------------------------------------------
 
     def approximate_bytes(self, txn_id: Optional[str] = None) -> int:
-        """Rough log footprint (used by the log-vs-snapshot experiment E3)."""
+        """Rough log footprint (used by the log-vs-snapshot experiment E3).
+
+        Every record — direct or nested inside a ``ReplaceRecord`` —
+        pays the same flat per-record overhead plus its payload length,
+        so E3's comparison is not skewed by how a change happens to be
+        nested.
+        """
         entries = self.entries_for(txn_id) if txn_id else self._entries
-        total = 0
-        for entry in entries:
-            total += len(entry.action_xml)
-            for record in entry.records:
-                snapshot = getattr(record, "snapshot_xml", "")
-                inserted = getattr(record, "inserted_xml", "")
-                total += len(snapshot) + len(inserted) + 32
-                if record.kind == "replace":
-                    total += len(record.deleted.snapshot_xml)
-                    total += sum(len(i.inserted_xml) for i in record.inserted)
-        return total
+        return sum(entry_bytes(entry) for entry in entries)
 
     def dump(self) -> str:
         """Human-readable text form of the whole log."""
@@ -160,50 +179,136 @@ class OperationLog:
         root = doc.create_root("log")
         root.attributes["peer"] = self.peer_id
         for entry in self._entries:
-            entry_el = root.new_element(
-                "entry",
-                {
-                    "seq": str(entry.seq),
-                    "txn": entry.txn_id,
-                    "kind": entry.kind,
-                    "document": entry.document_name,
-                    "timestamp": repr(entry.timestamp),
-                },
-            )
-            entry_el.new_element("forward").new_text(entry.action_xml)
-            for record in entry.records:
-                _record_to_element(entry_el, record)
+            entry_el = root.new_element("entry", _entry_attrs(entry))
+            _fill_entry_element(entry_el, entry)
         return serialize(doc)
 
     @classmethod
     def from_text(cls, text: str) -> "OperationLog":
-        """Restore a log serialized by :meth:`to_text`."""
-        import itertools as _itertools
+        """Restore a log serialized by :meth:`to_text`.
 
+        Entries are re-ordered by ``seq`` — ``undo_entries`` must
+        compensate in true reverse execution order even when the text
+        was merged or reordered in transit — and duplicate seqs are
+        rejected (two entries claiming the same position cannot both be
+        replayed).
+        """
         from repro.xmlstore.parser import parse_document
 
         doc = parse_document(text, name="log")
-        log = cls(doc.root.attributes.get("peer", ""))
-        max_seq = 0
-        for entry_el in doc.root.find_children("entry"):
-            forward_el = entry_el.first_child("forward")
-            records = [
-                _record_from_element(rec_el)
-                for rec_el in entry_el.find_children("record")
-            ]
-            entry = LogEntry(
-                seq=int(entry_el.attributes["seq"]),
-                txn_id=entry_el.attributes["txn"],
-                kind=entry_el.attributes["kind"],
-                document_name=entry_el.attributes["document"],
-                action_xml=forward_el.text_content() if forward_el is not None else "",
-                records=records,
-                timestamp=float(entry_el.attributes.get("timestamp", "0")),
-            )
-            log._entries.append(entry)
-            max_seq = max(max_seq, entry.seq)
+        entries = [
+            _entry_from_element(entry_el)
+            for entry_el in doc.root.find_children("entry")
+        ]
+        return cls.from_entries(
+            doc.root.attributes.get("peer", ""), entries
+        )
+
+    @classmethod
+    def from_entries(
+        cls, peer_id: str, entries: Sequence[LogEntry]
+    ) -> "OperationLog":
+        """A log adopting *entries* (sorted by seq, duplicates rejected),
+        with ``append`` continuing after the highest adopted seq."""
+        import itertools as _itertools
+
+        log = cls(peer_id)
+        ordered = sorted(entries, key=lambda e: e.seq)
+        seen = set()
+        for entry in ordered:
+            if entry.seq in seen:
+                raise ValueError(
+                    f"duplicate log seq {entry.seq} in restored log"
+                )
+            seen.add(entry.seq)
+        log._entries = list(ordered)
+        max_seq = ordered[-1].seq if ordered else 0
         log._seq = _itertools.count(max_seq + 1)
         return log
+
+
+# ---------------------------------------------------------------------------
+# single-entry XML codec (shared by to_text/from_text and the durable WAL)
+# ---------------------------------------------------------------------------
+
+def _entry_attrs(entry: LogEntry) -> dict:
+    return {
+        "seq": str(entry.seq),
+        "txn": entry.txn_id,
+        "kind": entry.kind,
+        "document": entry.document_name,
+        "timestamp": repr(entry.timestamp),
+    }
+
+
+def _fill_entry_element(entry_el, entry: LogEntry) -> None:
+    entry_el.new_element("forward").new_text(entry.action_xml)
+    for record in entry.records:
+        _record_to_element(entry_el, record)
+
+
+def _entry_from_element(entry_el) -> LogEntry:
+    forward_el = entry_el.first_child("forward")
+    records = [
+        _record_from_element(rec_el)
+        for rec_el in entry_el.find_children("record")
+    ]
+    return LogEntry(
+        seq=int(entry_el.attributes["seq"]),
+        txn_id=entry_el.attributes["txn"],
+        kind=entry_el.attributes["kind"],
+        document_name=entry_el.attributes["document"],
+        action_xml=forward_el.text_content() if forward_el is not None else "",
+        records=records,
+        timestamp=float(entry_el.attributes.get("timestamp", "0")),
+    )
+
+
+def entry_to_xml(entry: LogEntry) -> str:
+    """One entry as a self-contained XML document (durable-WAL framing)."""
+    from repro.xmlstore.nodes import Document
+    from repro.xmlstore.serializer import serialize
+
+    doc = Document("entry")
+    root = doc.create_root("entry")
+    root.attributes.update(_entry_attrs(entry))
+    _fill_entry_element(root, entry)
+    return serialize(doc)
+
+
+def entry_from_xml(text: str) -> LogEntry:
+    """Decode one entry serialized by :func:`entry_to_xml`."""
+    from repro.xmlstore.parser import parse_document
+
+    doc = parse_document(text, name="entry")
+    return _entry_from_element(doc.root)
+
+
+def entry_bytes(entry: LogEntry) -> int:
+    """Logical payload size of one entry (action + record accounting).
+
+    Used for :meth:`OperationLog.approximate_bytes` and the durable
+    WAL's ``wal_bytes`` counter.  Deliberately *not* the serialized
+    frame length: node-id reprs embed a process-global document serial,
+    so frame lengths vary between runs within one process and would
+    break byte-identical summaries.
+    """
+    return len(entry.action_xml) + sum(
+        _record_bytes(record) for record in entry.records
+    )
+
+
+def _record_bytes(record: ChangeRecord) -> int:
+    """Flat 32-byte overhead + payload, applied uniformly at every
+    nesting level (a replace charges itself plus its halves)."""
+    total = 32
+    if record.kind == "replace":
+        total += _record_bytes(record.deleted)
+        total += sum(_record_bytes(inserted) for inserted in record.inserted)
+    else:
+        total += len(getattr(record, "snapshot_xml", ""))
+        total += len(getattr(record, "inserted_xml", ""))
+    return total
 
 
 def _record_to_element(parent, record: ChangeRecord) -> None:

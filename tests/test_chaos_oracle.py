@@ -135,4 +135,5 @@ class TestOracleUnit:
             "unfinished_context",
             "outcome_mismatch",
             "orphan_chain",
+            "wal_tail_inconsistent",
         }

@@ -1,0 +1,206 @@
+"""The on-disk segmented WAL (repro.txn.durable_wal) and ScratchSpace."""
+
+import os
+
+import pytest
+
+from repro.sim.kernel import ScratchSpace
+from repro.txn.durable_wal import DurableWal
+from repro.txn.wal import LogEntry, OperationLog, entry_from_xml, entry_to_xml
+
+
+def make_entry(seq, txn_id="T1", action="<a/>"):
+    return LogEntry(
+        seq=seq, txn_id=txn_id, kind="update", document_name="D",
+        action_xml=action, records=[], timestamp=float(seq) / 8,
+    )
+
+
+def segment_files(directory):
+    return sorted(n for n in os.listdir(directory) if n.endswith(".seg"))
+
+
+class TestEntryCodec:
+    def test_single_entry_roundtrip(self):
+        entry = make_entry(7, txn_id="T42", action="<x y='1'/>")
+        copy = entry_from_xml(entry_to_xml(entry))
+        assert copy == entry
+
+
+class TestAppendAndLoad:
+    def test_append_load_roundtrip(self, tmp_path):
+        wal = DurableWal(str(tmp_path), peer_id="P1")
+        log = OperationLog("P1")
+        log.sink = wal
+        log.append("T1", "update", "D", "<a/>")
+        log.append("T2", "update", "D", "<b/>")
+        scan = wal.load()
+        assert not scan.torn
+        assert [(e.seq, e.txn_id) for e in scan.entries] == [(1, "T1"), (2, "T2")]
+        wal.close()
+
+    def test_tombstone_filters_truncated_txn(self, tmp_path):
+        wal = DurableWal(str(tmp_path), peer_id="P1")
+        log = OperationLog("P1")
+        log.sink = wal
+        log.append("T1", "update", "D", "<a/>")
+        log.append("T2", "update", "D", "<b/>")
+        log.truncate("T1")
+        scan = wal.load()
+        assert [e.txn_id for e in scan.entries] == ["T2"]
+        wal.close()
+
+    def test_restart_adopts_directory(self, tmp_path):
+        wal = DurableWal(str(tmp_path), peer_id="P1")
+        log = OperationLog("P1")
+        log.sink = wal
+        log.append("T1", "update", "D", "<a/>")
+        wal.close()
+        reopened = DurableWal(str(tmp_path), peer_id="P1")
+        restored = OperationLog.from_entries("P1", reopened.load().entries)
+        assert len(restored) == 1
+        restored.sink = reopened
+        entry = restored.append("T2", "update", "D", "<b/>")
+        assert entry.seq == 2
+        assert len(reopened.load().entries) == 2
+        reopened.close()
+
+    def test_empty_directory_loads_empty(self, tmp_path):
+        wal = DurableWal(str(tmp_path), peer_id="P1")
+        scan = wal.load()
+        assert scan.entries == [] and not scan.torn
+        wal.close()
+
+    def test_rejects_tiny_segment_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            DurableWal(str(tmp_path), segment_max_frames=1)
+
+
+class TestTornTail:
+    def _wal_with_entries(self, tmp_path, count=3):
+        wal = DurableWal(str(tmp_path), peer_id="P1")
+        log = OperationLog("P1")
+        log.sink = wal
+        for i in range(count):
+            log.append("T1", "update", "D", f"<a i='{i}'/>")
+        return wal
+
+    def test_truncated_frame_detected_and_discarded(self, tmp_path):
+        wal = self._wal_with_entries(tmp_path)
+        wal.close()
+        seg = tmp_path / segment_files(tmp_path)[-1]
+        data = seg.read_bytes()
+        seg.write_bytes(data[:-5])  # chop mid-frame
+        wal2 = DurableWal(str(tmp_path), peer_id="P1")
+        # The torn frame is gone; the durable prefix survives.
+        assert [e.seq for e in wal2.load().entries] == [1, 2]
+        wal2.close()
+
+    def test_garbage_frame_header_stops_scan(self, tmp_path):
+        wal = self._wal_with_entries(tmp_path, count=2)
+        with open(os.path.join(str(tmp_path), segment_files(tmp_path)[-1]),
+                  "ab") as fh:
+            fh.write(b"XX not a frame\n")
+        scan = wal.load()
+        assert scan.torn
+        assert [e.seq for e in scan.entries] == [1, 2]
+        wal.close()
+
+    def test_seq_regression_is_a_torn_tail(self, tmp_path):
+        wal = self._wal_with_entries(tmp_path, count=2)
+        # Hand-forge a stale frame whose seq goes backwards.
+        wal._write_frame("E", entry_to_xml(make_entry(1, txn_id="T9")))
+        scan = wal.load()
+        assert scan.torn
+        assert [(e.seq, e.txn_id) for e in scan.entries] == [
+            (1, "T1"), (2, "T1"),
+        ]
+        wal.close()
+
+    def test_reload_truncates_and_resumes_cleanly(self, tmp_path):
+        wal = self._wal_with_entries(tmp_path)
+        wal.close()
+        seg = tmp_path / segment_files(tmp_path)[-1]
+        seg.write_bytes(seg.read_bytes()[:-5])
+        wal2 = DurableWal(str(tmp_path), peer_id="P1")
+        log = OperationLog.from_entries("P1", wal2.load().entries)
+        log.sink = wal2
+        log.append("T2", "update", "D", "<b/>")
+        scan = wal2.load()
+        assert not scan.torn
+        assert [e.seq for e in scan.entries] == [1, 2, 3]
+        wal2.close()
+
+
+class TestRolloverCompaction:
+    def test_rollover_drops_tombstoned_frames(self, tmp_path):
+        wal = DurableWal(str(tmp_path), peer_id="P1", segment_max_frames=4)
+        log = OperationLog("P1")
+        log.sink = wal
+        log.append("T1", "update", "D", "<a/>")
+        log.append("T1", "update", "D", "<b/>")
+        log.append("T2", "update", "D", "<c/>")
+        log.truncate("T1")  # 4th frame -> rollover
+        names = segment_files(tmp_path)
+        assert names == ["wal-000002.seg"]
+        scan = wal.load()
+        assert [e.txn_id for e in scan.entries] == ["T2"]
+        wal.close()
+
+    def test_restart_after_rollover(self, tmp_path):
+        wal = DurableWal(str(tmp_path), peer_id="P1", segment_max_frames=4)
+        log = OperationLog("P1")
+        log.sink = wal
+        for i in range(6):
+            log.append(f"T{i}", "update", "D", "<a/>")
+        wal.close()
+        wal2 = DurableWal(str(tmp_path), peer_id="P1", segment_max_frames=4)
+        assert len(wal2.load().entries) == 6
+        wal2.close()
+
+    def test_metrics_counters(self, tmp_path):
+        from repro.sim.metrics import MetricsCollector
+
+        metrics = MetricsCollector()
+        wal = DurableWal(
+            str(tmp_path), peer_id="P1", metrics=metrics, segment_max_frames=4
+        )
+        log = OperationLog("P1")
+        log.sink = wal
+        for _ in range(3):
+            log.append("T1", "update", "D", "<a/>")
+        log.truncate("T1")
+        assert metrics.get("wal_appends") == 3
+        assert metrics.get("wal_tombstones") == 1
+        assert metrics.get("wal_compactions") == 1
+        assert metrics.get("wal_bytes") > 0
+        wal.close()
+
+    def test_wal_bytes_matches_logical_accounting(self, tmp_path):
+        from repro.sim.metrics import MetricsCollector
+        from repro.txn.wal import entry_bytes
+
+        metrics = MetricsCollector()
+        wal = DurableWal(str(tmp_path), peer_id="P1", metrics=metrics)
+        log = OperationLog("P1")
+        log.sink = wal
+        log.append("T1", "update", "D", "<a/>")
+        log.append("T1", "update", "D", "<bb/>")
+        assert metrics.get("wal_bytes") == sum(entry_bytes(e) for e in log)
+        wal.close()
+
+
+class TestScratchSpace:
+    def test_deterministic_relative_layout(self):
+        with ScratchSpace() as a, ScratchSpace() as b:
+            pa = a.path("AP1", "wal")
+            pb = b.path("AP1", "wal")
+            assert os.path.relpath(pa, a.root) == os.path.relpath(pb, b.root)
+            assert os.path.isdir(pa) and os.path.isdir(pb)
+
+    def test_cleanup_removes_root(self):
+        scratch = ScratchSpace()
+        root = scratch.root
+        scratch.path("x")
+        scratch.cleanup()
+        assert not os.path.exists(root)

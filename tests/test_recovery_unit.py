@@ -154,3 +154,50 @@ class TestAttemptForwardRecovery:
 
     def test_zero_retries_unhandled(self):
         assert not self.run(FaultPolicy(retry_times=0), _Reinvoker()).handled
+
+    def test_doomed_retries_do_not_wait(self):
+        # Dead target, no replica: no retry can succeed, so no retry may
+        # burn wait time either (regression: each doomed retry used to
+        # pay retry_wait before skipping itself).
+        waits = []
+        decision = self.run(
+            FaultPolicy(retry_times=5, retry_wait=2.0),
+            _Reinvoker(),
+            alive=False,
+            waits=waits,
+        )
+        assert not decision.handled
+        assert waits == []
+
+    def test_doomed_retries_elapse_no_virtual_time(self):
+        from repro.sim.kernel import Clock
+
+        clock = Clock()
+        reinvoker = _Reinvoker()
+        decision = attempt_forward_recovery(
+            FaultPolicy(retry_times=3, retry_wait=1.5),
+            "target",
+            "m",
+            {},
+            reinvoke=reinvoker,
+            wait=clock.advance,
+            original_target_alive=lambda: False,
+        )
+        assert not decision.handled
+        assert reinvoker.calls == []
+        assert clock.now == 0.0
+
+    def test_live_target_still_waits_each_retry(self):
+        from repro.sim.kernel import Clock
+
+        clock = Clock()
+        attempt_forward_recovery(
+            FaultPolicy(retry_times=2, retry_wait=1.5),
+            "target",
+            "m",
+            {},
+            reinvoke=_Reinvoker(failures=99),
+            wait=clock.advance,
+            original_target_alive=lambda: True,
+        )
+        assert clock.now == 3.0

@@ -82,6 +82,106 @@ class TestLogSerialization:
         restored = OperationLog.from_text(log.to_text())
         assert len(restored) == 0
 
+    def test_zero_record_entry_roundtrip(self):
+        log = OperationLog("P")
+        log.append("T1", "query", "Shop", "<query>Select i;</query>",
+                   records=(), timestamp=1.25)
+        restored = OperationLog.from_text(log.to_text())
+        entry = restored.entries_for("T1")[0]
+        assert entry.records == []
+        assert entry.action_xml == "<query>Select i;</query>"
+        assert not entry.is_compensatable
+
+    def test_replace_of_replace_roundtrip(self, shop):
+        # Nest a ReplaceRecord inside another ReplaceRecord's inserted
+        # list and make sure the codec recurses on the way back in.
+        from repro.query.update import ReplaceRecord
+
+        log = populate_log(shop)
+        replace_entry = log.entries_for("T1")[1]
+        inner = replace_entry.records[0]
+        assert inner.kind == "replace"
+        nested = ReplaceRecord(inner.deleted, [inner])
+        log.append("T1", "update", "Shop", "<nested/>", records=[nested])
+        restored = OperationLog.from_text(log.to_text())
+        copy = restored.entries_for("T1")[-1].records[0]
+        assert copy.kind == "replace"
+        assert copy.inserted[0].kind == "replace"
+        assert copy.inserted[0].deleted.snapshot_xml == inner.deleted.snapshot_xml
+
+    def test_timestamp_repr_roundtrip_is_exact(self):
+        log = OperationLog("P")
+        stamps = [0.1 + 0.2, 1.0 / 3.0, 123456.78901234567, 0.0]
+        for i, stamp in enumerate(stamps):
+            log.append("T1", "update", "D", f"<a i='{i}'/>", timestamp=stamp)
+        restored = OperationLog.from_text(log.to_text())
+        assert [e.timestamp for e in restored] == stamps
+
+    def test_from_text_sorts_by_seq(self, shop):
+        # A merged/reordered log text must still compensate in true
+        # reverse execution order — from_text re-sorts by seq.
+        log = populate_log(shop)
+        text = log.to_text()
+        from repro.xmlstore.parser import parse_document
+        from repro.xmlstore.serializer import serialize
+
+        doc = parse_document(text, name="log")
+        entries = doc.root.find_children("entry")
+        order = [el.attributes["seq"] for el in entries]
+        assert order == ["1", "2", "3"]
+        doc.root.children = list(reversed(entries))
+        restored = OperationLog.from_text(serialize(doc))
+        assert [e.seq for e in restored] == [1, 2, 3]
+        assert [e.seq for e in restored.undo_entries("T1")] == [3, 2, 1]
+
+    def test_from_text_rejects_duplicate_seq(self, shop):
+        log = populate_log(shop)
+        from repro.xmlstore.parser import parse_document
+        from repro.xmlstore.serializer import serialize
+
+        doc = parse_document(log.to_text(), name="log")
+        entries = doc.root.find_children("entry")
+        entries[1].attributes["seq"] = entries[0].attributes["seq"]
+        with pytest.raises(ValueError, match="duplicate"):
+            OperationLog.from_text(serialize(doc))
+
+    def test_seq_continues_after_restore_and_append(self, shop):
+        log = populate_log(shop)
+        restored = OperationLog.from_text(log.to_text())
+        first = restored.append("T2", "update", "Shop", "<a/>")
+        second = restored.append("T2", "update", "Shop", "<b/>")
+        assert (first.seq, second.seq) == (len(log) + 1, len(log) + 2)
+
+
+class TestApproximateBytes:
+    def test_nested_records_pay_flat_overhead(self, shop):
+        # Every record pays the same +32, at every nesting level: a
+        # replace charges itself plus the full accounting of its halves
+        # (regression: nested records used to skip the overhead).
+        log = populate_log(shop)
+        replace_entry = log.entries_for("T1")[1]
+        record = replace_entry.records[0]
+        assert record.kind == "replace"
+        from repro.txn.wal import _record_bytes, entry_bytes
+
+        expected = (
+            32
+            + _record_bytes(record.deleted)
+            + sum(_record_bytes(r) for r in record.inserted)
+        )
+        assert _record_bytes(record) == expected
+        assert record.deleted.kind == "delete"
+        assert _record_bytes(record.deleted) == 32 + len(
+            record.deleted.snapshot_xml
+        )
+        assert entry_bytes(replace_entry) == (
+            len(replace_entry.action_xml)
+            + sum(_record_bytes(r) for r in replace_entry.records)
+        )
+        assert log.approximate_bytes("T1") == sum(
+            entry_bytes(e) for e in log.entries_for("T1")
+        )
+
 
 class TestPeerRejoin:
     def _world(self):
