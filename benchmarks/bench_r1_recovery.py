@@ -1,0 +1,261 @@
+"""R1 — bounded recovery via checkpoints + WAL group commit.
+
+Two measurements (DESIGN.md index row R1):
+
+* Part A, recovery replay vs WAL length: a durable worker runs N
+  committed one-invoke transactions, then crashes and rejoins.  Without
+  checkpoints, recovery re-parses every entry frame ever logged —
+  ``recovery_replay_entries`` grows linearly with N.  With
+  ``checkpoint_every=K``, recovery loads the newest checkpoint and
+  replays only the segment tail — bounded by K regardless of N.
+* Part B, write-path group commit: a T1-style multi-invoke commit
+  workload against a durable worker, with ``wal_batch=1`` (one physical
+  flush per frame, the PR 5 path) vs a batched WAL (one multi-frame
+  flush per batch, barriers at commit time) — the batched leg must
+  issue far fewer physical flushes for the same logical appends.
+  Note the batched leg relaxes ``flush_on_prepare``: with the barrier
+  on, every share hand-off flushes the (1-entry) batch anyway, which is
+  exactly the durability the protocol demands — group commit pays off
+  on the ops *between* protocol messages, not across them.
+
+Gates are deterministic (logical counters, not wall time): replay
+counts must be exactly linear without checkpoints and ≤ the checkpoint
+interval with them; batching must at least halve physical flushes.
+Wall-clock times are recorded as informational context only.
+
+Run:  python benchmarks/bench_r1_recovery.py [--smoke]
+Out:  benchmarks/results/BENCH_R1[_smoke].json   (repro-bench-perf/1)
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+
+from _util import perf_record, publish_perf
+
+from repro.axml.document import AXMLDocument
+from repro.p2p.network import SimNetwork
+from repro.p2p.peer import AXMLPeer
+from repro.services.descriptor import ParamSpec, ServiceDescriptor
+from repro.services.service import UpdateService
+from repro.txn.modes import DurabilityPolicy, RejoinMode
+
+
+def _durable_world(directory: str, checkpoint_every: int):
+    """Origin + one durable worker hosting a single update service."""
+    network = SimNetwork()
+    origin = AXMLPeer("Origin", network)
+    worker = AXMLPeer(
+        "Worker",
+        network,
+        durability=DurabilityPolicy(
+            directory=directory,
+            checkpoint_every=checkpoint_every,
+            # Part A isolates checkpointing: a huge threshold keeps the
+            # no-checkpoint leg from compacting segments behind our back.
+            segment_max_frames=1 << 20,
+        ),
+    )
+    worker.host_document(AXMLDocument.from_xml("<D><slots/></D>", name="D"))
+    worker.host_service(UpdateService(
+        ServiceDescriptor(
+            "book", kind="update", params=(ParamSpec("c"),),
+            target_document="D",
+        ),
+        '<action type="insert"><data><slot c="$c"/></data>'
+        "<location>Select d from d in D//slots;</location></action>",
+    ))
+    return network, origin, worker
+
+
+def _measure_recovery(wal_length: int, checkpoint_every: int):
+    """Run *wal_length* committed txns, crash, rejoin; returns
+    ``(replayed_entries, recovery_seconds)``."""
+    scratch = tempfile.mkdtemp(prefix="bench-r1-")
+    try:
+        network, origin, worker = _durable_world(scratch, checkpoint_every)
+        for i in range(wal_length):
+            txn = origin.begin_transaction()
+            origin.invoke(txn.txn_id, "Worker", "book", {"c": f"c{i}"})
+            origin.commit(txn.txn_id)
+        worker.crash()
+        before = network.metrics.get("recovery_replay_entries")
+        start = time.perf_counter()
+        worker.rejoin(mode=RejoinMode.IN_DOUBT)
+        elapsed = time.perf_counter() - start
+        replayed = network.metrics.get("recovery_replay_entries") - before
+        return replayed, elapsed
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def bench_recovery(args) -> dict:
+    # Deliberately not multiples of the interval, so the checkpointed
+    # leg always replays a non-empty tail (N mod interval entries).
+    lengths = (35, 67) if args.smoke else (130, 270, 530, 1030)
+    interval = 16 if args.smoke else 64
+    rows = []
+    for n in lengths:
+        flat_replay, flat_time = _measure_recovery(n, checkpoint_every=interval)
+        linear_replay, linear_time = _measure_recovery(n, checkpoint_every=0)
+        rows.append({
+            "wal_length": n,
+            "replay_no_checkpoint": linear_replay,
+            "replay_checkpointed": flat_replay,
+            "recovery_no_checkpoint_s": round(linear_time, 6),
+            "recovery_checkpointed_s": round(flat_time, 6),
+        })
+        print(
+            f"R1/A recovery, WAL length {n}: replay "
+            f"{linear_replay} entries ({linear_time:.4f}s) without "
+            f"checkpoints vs {flat_replay} (<= {interval}) "
+            f"({flat_time:.4f}s) with checkpoint_every={interval}"
+        )
+    last = rows[-1]
+    speedup = (
+        last["recovery_no_checkpoint_s"] / last["recovery_checkpointed_s"]
+        if last["recovery_checkpointed_s"] > 0 else float("inf")
+    )
+    return perf_record(
+        "recovery_replay_checkpointed_vs_full",
+        args.seed,
+        last["recovery_checkpointed_s"],
+        round(speedup, 4),
+        checkpoint_every=interval,
+        lengths=list(lengths),
+        rows=rows,
+    )
+
+
+def _commit_workload(policy: DurabilityPolicy, txns: int, ops: int):
+    """Run *txns* committed transactions of *ops* invokes each against a
+    worker using *policy*; returns ``(seconds, counters_dict)``."""
+    scratch = tempfile.mkdtemp(prefix="bench-r1-")
+    try:
+        network = SimNetwork()
+        origin = AXMLPeer("Origin", network)
+        worker = AXMLPeer(
+            "Worker", network,
+            durability=DurabilityPolicy(
+                directory=scratch,
+                wal_batch=policy.wal_batch,
+                flush_on_prepare=policy.flush_on_prepare,
+            ),
+        )
+        worker.host_document(
+            AXMLDocument.from_xml("<D><slots/></D>", name="D")
+        )
+        worker.host_service(UpdateService(
+            ServiceDescriptor(
+                "book", kind="update", params=(ParamSpec("c"),),
+                target_document="D",
+            ),
+            '<action type="insert"><data><slot c="$c"/></data>'
+            "<location>Select d from d in D//slots;</location></action>",
+        ))
+        start = time.perf_counter()
+        for i in range(txns):
+            txn = origin.begin_transaction()
+            for j in range(ops):
+                origin.invoke(
+                    txn.txn_id, "Worker", "book", {"c": f"c{i}.{j}"}
+                )
+            origin.commit(txn.txn_id)
+        elapsed = time.perf_counter() - start
+        return elapsed, dict(network.metrics.snapshot())
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def bench_group_commit(args) -> dict:
+    txns = 16 if args.smoke else 100
+    ops = 4
+    serial_time, serial_counters = _commit_workload(
+        DurabilityPolicy(directory="x", wal_batch=1), txns, ops
+    )
+    # Batched leg: accumulate each transaction's entries and let the
+    # commit-time tombstone barrier write them as one multi-frame flush.
+    batched_time, batched_counters = _commit_workload(
+        DurabilityPolicy(directory="x", wal_batch=32, flush_on_prepare=False),
+        txns, ops,
+    )
+
+    appends = batched_counters.get("wal_appends", 0)
+    batch_flushes = batched_counters.get("wal_batch_flushes", 0)
+    serial_writes = (
+        serial_counters.get("wal_appends", 0)
+        + serial_counters.get("wal_tombstones", 0)
+    )
+    speedup = serial_time / batched_time if batched_time > 0 else float("inf")
+    print(
+        f"R1/B group commit: {appends} appends over {txns} txns -> "
+        f"{serial_writes} physical writes unbatched ({serial_time:.4f}s) "
+        f"vs {batch_flushes} batch flushes with wal_batch=32 "
+        f"({batched_time:.4f}s)"
+    )
+    return perf_record(
+        "t1_throughput_group_commit",
+        args.seed,
+        batched_time,
+        round(speedup, 4),
+        wal_batch=32,
+        txns=txns,
+        ops_per_txn=ops,
+        wal_appends=appends,
+        wal_batch_flushes=batch_flushes,
+        unbatched_physical_writes=serial_writes,
+        unbatched_wall_time=round(serial_time, 6),
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run (used by the CI perf gate)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    recovery_rec = bench_recovery(args)
+    commit_rec = bench_group_commit(args)
+
+    suffix = "_smoke" if args.smoke else ""
+    path = publish_perf(
+        f"BENCH_R1{suffix}.json",
+        [recovery_rec, commit_rec],
+        smoke=args.smoke,
+    )
+    print(f"json artifact written: {path}")
+
+    # -- gates (deterministic counters, not wall time) --------------------
+    failed = []
+    interval = recovery_rec["checkpoint_every"]
+    for row in recovery_rec["rows"]:
+        if row["replay_no_checkpoint"] != row["wal_length"]:
+            failed.append(
+                f"no-checkpoint replay {row['replay_no_checkpoint']} != "
+                f"WAL length {row['wal_length']} (expected exactly linear)"
+            )
+        if row["replay_checkpointed"] > interval:
+            failed.append(
+                f"checkpointed replay {row['replay_checkpointed']} > "
+                f"interval {interval} at WAL length {row['wal_length']}"
+            )
+    if commit_rec["wal_batch_flushes"] * 2 > commit_rec["wal_appends"]:
+        failed.append(
+            f"group commit flushed {commit_rec['wal_batch_flushes']} "
+            f"batches for {commit_rec['wal_appends']} appends "
+            f"(expected <= half)"
+        )
+    if failed:
+        for reason in failed:
+            print(f"FAILED: {reason}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -236,13 +236,21 @@ class AtomicityOracle:
         live entry seqs its in-memory log holds, with no torn frames.
         Details carry counts and seqs only — never filesystem paths,
         which would break byte-identical summaries.
+
+        With group commit a live peer may legitimately hold appended
+        entries whose frames are still in the batch buffer — that is
+        the durability *window*, not a violation (a crash inside it
+        discards the entries from memory and store alike).  The scan
+        therefore overlays the pending batch (``include_pending``): it
+        checks "disk ∪ buffer ≡ memory", which batching preserves and
+        every real tail bug still breaks.
         """
         violations: List[Violation] = []
         for peer_id, peer in sorted(peers.items()):
             wal = getattr(peer, "wal", None)
             if wal is None:
                 continue
-            scan = wal.load()
+            scan = wal.load(include_pending=True)
             if scan.torn:
                 violations.append(Violation(
                     "wal_tail_inconsistent", peer=peer_id,

@@ -66,6 +66,9 @@ class FaultEvent:
     delay_rate: float = 0.0
     max_delay: float = 0.0
     delay: float = 0.0      # restart delay (kind=crash)
+    #: kind=crash with checkpointing: the crash lands mid-publish and
+    #: tears the newest checkpoint file (recovery must fall back).
+    tear_checkpoint: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe dict with defaulted fields elided (stable, compact)."""
@@ -126,6 +129,7 @@ class FaultPlanner:
         horizon: float,
         disconnect_origins: bool = False,
         crash_rate: float = 0.0,
+        checkpoints: bool = False,
     ):
         self.seed = seed
         self.providers = list(providers)
@@ -135,6 +139,10 @@ class FaultPlanner:
         self.horizon = horizon
         self.disconnect_origins = disconnect_origins
         self.crash_rate = crash_rate
+        #: Sample mid-checkpoint crash variants (``tear_checkpoint``).
+        #: Off by default: the extra draw would perturb the crashplan
+        #: stream of existing checkpoint-less seeds.
+        self.checkpoints = checkpoints
 
     def plan(self) -> FaultPlan:
         rng = SeededRng(stable_seed(self.seed, "plan"))
@@ -157,8 +165,15 @@ class FaultPlanner:
         # is byte-identical to what earlier versions produced.
         if self.crash_rate > 0 and self.providers:
             crash_rng = SeededRng(stable_seed(self.seed, "crashplan"))
+            # Tear flags come from yet another stream: enabling
+            # checkpoints must not perturb the peers/points/delays the
+            # crashplan stream hands out for a given seed.
+            tear_rng = (
+                SeededRng(stable_seed(self.seed, "tearplan"))
+                if self.checkpoints else None
+            )
             for _ in range(int(round(self.crash_rate * self.txns))):
-                events.append(self._crash(crash_rng))
+                events.append(self._crash(crash_rng, tear_rng))
         return FaultPlan(tuple(events))
 
     # -- samplers ------------------------------------------------------
@@ -198,16 +213,20 @@ class FaultPlanner:
             point=rng.choice(["after_local_work", "before_return"]),
         )
 
-    def _crash(self, rng: SeededRng) -> FaultEvent:
+    def _crash(self, rng: SeededRng, tear_rng: SeededRng = None) -> FaultEvent:
         peer = rng.choice(self.providers)
         from repro.p2p.failure import POINTS
 
+        point = rng.choice(list(POINTS))
+        delay = round(rng.uniform(0.2, 1.0), 4)
+        tear = bool(tear_rng is not None and tear_rng.random() < 0.25)
         return FaultEvent(
             kind="crash",
             peer=peer,
             method=self.provider_methods[peer],
-            point=rng.choice(list(POINTS)),
-            delay=round(rng.uniform(0.2, 1.0), 4),
+            point=point,
+            delay=delay,
+            tear_checkpoint=tear,
         )
 
     def _message_chaos(self, rng: SeededRng) -> FaultEvent:

@@ -83,6 +83,10 @@ class ChaosConfig:
     durability: bool = False
     #: Expected crash events per run = crash_rate * txns (needs durability).
     crash_rate: float = 0.0
+    #: WAL checkpoint interval in appended entries; 0 = no checkpoints.
+    checkpoint_every: int = 0
+    #: WAL group-commit batch size; 1 = flush every frame (PR 5 path).
+    wal_batch: int = 1
 
     def __post_init__(self) -> None:
         if self.mutate and self.mutate not in MUTATIONS:
@@ -101,6 +105,15 @@ class ChaosConfig:
                 "mutate='crash_skip_undo' targets WAL recovery; it "
                 "requires durability=True"
             )
+        if (self.checkpoint_every > 0 or self.wal_batch > 1) and not self.durability:
+            raise ValueError(
+                "checkpoint_every/wal_batch tune the on-disk WAL; they "
+                "require durability=True"
+            )
+        if self.checkpoint_every < 0 or self.wal_batch < 1:
+            raise ValueError(
+                "checkpoint_every must be >= 0 and wal_batch >= 1"
+            )
 
     @property
     def horizon(self) -> float:
@@ -108,7 +121,15 @@ class ChaosConfig:
         return self.txns / self.arrival_rate + 2.0
 
     def to_dict(self) -> Dict[str, object]:
-        return dict(asdict(self))
+        out = dict(asdict(self))
+        # Elide the PR 7 WAL knobs at their defaults so summaries and
+        # replay files of checkpoint-less runs stay byte-identical to
+        # what earlier versions emitted.
+        if self.checkpoint_every == 0:
+            out.pop("checkpoint_every")
+        if self.wal_batch == 1:
+            out.pop("wal_batch")
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ChaosConfig":
@@ -194,7 +215,18 @@ def build_chaos_cluster(config: ChaosConfig):
     for i, provider in enumerate(providers, start=1):
         peer_kwargs = {}
         if scratch is not None:
-            peer_kwargs["durability"] = scratch.path(provider)
+            if config.checkpoint_every > 0 or config.wal_batch > 1:
+                from repro.txn.modes import DurabilityPolicy
+
+                peer_kwargs["durability"] = DurabilityPolicy(
+                    directory=scratch.path(provider),
+                    wal_batch=config.wal_batch,
+                    checkpoint_every=config.checkpoint_every,
+                )
+            else:
+                # Bare path: the exact PR 5 wiring, so checkpoint-less
+                # runs stay byte-identical.
+                peer_kwargs["durability"] = scratch.path(provider)
         cluster.add_peer(provider, **peer_kwargs)
         cluster.host_document(provider, f"<D{i}><items/></D{i}>", name=f"D{i}")
         delegations = [
@@ -287,6 +319,7 @@ def apply_plan(cluster, config: ChaosConfig, plan: FaultPlan) -> None:
             cluster.injector.crash_peer_during(
                 event.peer, event.method, event.point,
                 restart_delay=event.delay,
+                tear_checkpoint=event.tear_checkpoint,
             )
         else:
             raise ValueError(f"unknown fault event kind {event.kind!r}")
@@ -397,6 +430,7 @@ def run_chaos(config: ChaosConfig, plan: Optional[FaultPlan] = None) -> ChaosRun
                 fault_rate=config.fault_rate,
                 horizon=config.horizon,
                 crash_rate=config.crash_rate,
+                checkpoints=config.checkpoint_every > 0,
             ).plan()
         apply_plan(cluster, config, plan)
 

@@ -19,7 +19,14 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.api import Cluster
+from repro.api import (
+    Cluster,
+    RunConfig,
+    SweepConfig,
+    add_output_arguments,
+    add_run_arguments,
+    add_sweep_arguments,
+)
 from repro.sim.scenarios import QUERY_A, QUERY_B
 from repro.txn.recovery import DISCONNECT_FAULT, FaultPolicy
 
@@ -137,7 +144,6 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     replayable schedule in ``--repro-out``).
     """
     from repro.chaos import (
-        ChaosConfig,
         chaos_sweep,
         replay_repro_file,
         run_chaos,
@@ -156,32 +162,21 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         _print_chaos_result(result)
         return 1 if result.violations else 0
 
-    config = ChaosConfig(
-        seed=args.seed,
-        txns=args.txns,
-        providers=args.providers,
-        origins=args.origins,
-        concurrency=args.concurrency,
-        ops_per_txn=args.ops,
-        invoke_fraction=args.invoke_fraction,
-        fault_rate=args.fault_rate,
-        handlers=args.handlers,
-        mutate=args.mutate or "",
-        # crash faults need the WAL; enable it implicitly with them.
-        durability=bool(args.durability or args.crash_rate > 0
-                        or args.mutate == "crash_skip_undo"),
-        crash_rate=args.crash_rate,
-    )
+    # One shared surface: flags -> RunConfig -> ChaosConfig (the
+    # implicit-durability rule lives in RunConfig.to_chaos_config).
+    run_config = RunConfig.from_namespace(args)
+    config = run_config.to_chaos_config()
 
     if args.sweep:
+        sweep_config = SweepConfig.from_namespace(args)
         metrics = MetricsCollector()
         table, failures = chaos_sweep(
             config,
-            seeds=range(args.seeds),
-            concurrencies=(2, config.concurrency),
+            seeds=range(sweep_config.seeds),
+            concurrencies=sweep_config.concurrencies,
             fault_rates=(config.fault_rate,),
             metrics=metrics,
-            workers=args.workers,
+            workers=sweep_config.workers,
         )
         print(table.render())
         print(
@@ -355,8 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--handler", metavar="PEER:METHOD",
                        help="(fig1) install a retry handler, e.g. AP3:S5")
     p_rep.add_argument("--no-chaining", action="store_true")
-    p_rep.add_argument("--json-out", metavar="PATH",
-                       help="also write metrics + spans as a JSON artifact")
+    add_output_arguments(p_rep)
     p_rep.set_defaults(fn=cmd_report)
 
     p_b = subparsers.add_parser(
@@ -364,51 +358,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_b.add_argument("--smoke", action="store_true",
                      help="small fast sweep (used by CI)")
-    p_b.add_argument("--seed", type=int, default=7)
-    p_b.add_argument("--workers", type=int, default=1,
-                     help="worker processes for the sweep (0 = all cores; "
-                          "output is byte-identical to serial)")
-    p_b.add_argument("--json-out", metavar="PATH",
-                     help="also write the table as a JSON artifact")
+    add_run_arguments(p_b)
+    add_sweep_arguments(p_b)
+    add_output_arguments(p_b)
     p_b.set_defaults(fn=cmd_bench)
 
     p_ch = subparsers.add_parser(
         "chaos", help="seeded chaos harness + atomicity oracle"
     )
-    p_ch.add_argument("--seed", type=int, default=7)
-    p_ch.add_argument("--txns", type=int, default=20)
-    p_ch.add_argument("--fault-rate", type=float, default=0.2,
-                      help="planned faults per transaction (default 0.2)")
-    p_ch.add_argument("--providers", type=int, default=6)
-    p_ch.add_argument("--origins", type=int, default=2)
-    p_ch.add_argument("--concurrency", type=int, default=4)
-    p_ch.add_argument("--ops", type=int, default=3,
-                      help="operations per transaction")
-    p_ch.add_argument("--invoke-fraction", type=float, default=0.6,
-                      help="fraction of ops that are remote invocations")
-    p_ch.add_argument("--handlers", action="store_true",
-                      help="install retry fault policies (forward recovery)")
-    p_ch.add_argument("--mutate", choices=("skip_undo", "double_apply",
-                                           "stale_chain", "crash_skip_undo"),
-                      help="deliberately break the protocol (oracle demo)")
-    p_ch.add_argument("--crash-rate", type=float, default=0.0,
-                      help="planned crash-and-restart faults per transaction "
-                           "(implies --durability)")
-    p_ch.add_argument("--durability", action="store_true",
-                      help="give providers an on-disk WAL (crash recovery)")
+    add_run_arguments(p_ch)
+    add_sweep_arguments(p_ch)
+    add_output_arguments(p_ch)
     p_ch.add_argument("--sweep", action="store_true",
                       help="sweep seeds x concurrency x fault-rate")
-    p_ch.add_argument("--workers", type=int, default=1,
-                      help="worker processes for --sweep (0 = all cores; "
-                           "output is byte-identical to serial)")
-    p_ch.add_argument("--seeds", type=int, default=10,
-                      help="(--sweep) how many seeds, 0..N-1")
     p_ch.add_argument("--replay", metavar="FILE",
                       help="re-execute a repro file instead of planning")
     p_ch.add_argument("--repro-out", metavar="PATH", default="chaos_repro.json",
                       help="where the minimized repro file goes on failure")
-    p_ch.add_argument("--json-out", metavar="PATH",
-                      help="write the deterministic run summary as JSON")
     p_ch.set_defaults(fn=cmd_chaos)
 
     p_sp = subparsers.add_parser("spheres", help="spheres-of-atomicity analysis")

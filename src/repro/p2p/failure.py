@@ -38,7 +38,7 @@ class FailureInjector:
         self._disconnects: Dict[Tuple[str, str, str], str] = {}
         #: (trigger_peer, method, point) → (dead peer, restart delay);
         #: "" as dead peer = spent.
-        self._crashes: Dict[Tuple[str, str, str], Tuple[str, float]] = {}
+        self._crashes: Dict[Tuple[str, str, str], Tuple[str, float, bool]] = {}
 
     # -- scripting ---------------------------------------------------------
 
@@ -98,6 +98,7 @@ class FailureInjector:
         method_name: str,
         point: str = "after_local_work",
         restart_delay: float = 0.5,
+        tear_checkpoint: bool = False,
     ) -> None:
         """Crash *peer_id* when it reaches an execution point of
         *method_name*, then restart it *restart_delay* later.
@@ -107,10 +108,17 @@ class FailureInjector:
         drives ``rejoin(mode="in_doubt")``: the peer recovers its
         operation log from the durable WAL and rebuilds in-doubt
         contexts for a later commit/abort decision.
+
+        ``tear_checkpoint`` models the crash landing *inside* a
+        checkpoint publish: the newest checkpoint file is truncated to
+        half its length, so recovery must detect the torn file and fall
+        back to the previous checkpoint with a longer replay.
         """
         if point not in POINTS:
             raise ValueError(f"unknown injection point {point!r}; use one of {POINTS}")
-        self._crashes[(peer_id, method_name, point)] = (peer_id, restart_delay)
+        self._crashes[(peer_id, method_name, point)] = (
+            peer_id, restart_delay, tear_checkpoint
+        )
 
     def disconnect_at(self, peer_id: str, time: float) -> None:
         """Disconnect *peer_id* at an absolute virtual time."""
@@ -145,10 +153,18 @@ class FailureInjector:
         key = (peer_id, method_name, point)
         crash = self._crashes.get(key)
         if crash and crash[0]:
-            dead_peer, delay = crash
-            self._crashes[key] = ("", 0.0)
+            dead_peer, delay, tear = crash
+            self._crashes[key] = ("", 0.0, False)
             peer = self.network.get_peer(dead_peer)
             peer.crash()
+            if tear and peer.wal is not None:
+                # The crash lands mid-publish: tear the newest
+                # checkpoint so recovery exercises the fallback path.
+                from repro.txn.checkpoint import CheckpointStore
+
+                CheckpointStore(
+                    peer.wal.directory, peer.peer_id
+                ).tear_newest()
             # Restart is unconditional: settlement's run_all() fires it
             # even when nothing else is pending, so no crashed peer is
             # left dead (and un-recovered) at oracle time.

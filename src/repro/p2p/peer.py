@@ -14,7 +14,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.axml.document import AXMLDocument
 from repro.axml.faults import parse_fault_handlers
@@ -45,6 +45,7 @@ from repro.services.service import Service, ServiceResponse
 from repro.obs.spans import Span
 from repro.sim.rng import SeededRng, stable_seed
 from repro.txn.manager import TransactionManager
+from repro.txn.modes import DurabilityPolicy, RejoinMode, coerce_durability
 from repro.txn.operations import OperationOutcome
 from repro.txn.recovery import (
     FaultPolicy,
@@ -71,7 +72,7 @@ class AXMLPeer:
         occ: bool = False,
         injector=None,
         seed: int = 0,
-        durability: Optional[str] = None,
+        durability: Union[None, str, DurabilityPolicy] = None,
     ):
         self.peer_id = peer_id
         self.network = network
@@ -104,16 +105,30 @@ class AXMLPeer:
         self.manager = TransactionManager(
             peer_id, self.get_axml_document, validator=validator
         )
-        #: Crash durability: a directory path enables the on-disk WAL
-        #: (:mod:`repro.txn.durable_wal`); ``None`` keeps the log
-        #: memory-only and peers fail by disconnecting, never crashing.
+        #: Crash durability: a directory path or a
+        #: :class:`~repro.txn.modes.DurabilityPolicy` enables the
+        #: on-disk WAL (:mod:`repro.txn.durable_wal`); ``None`` keeps
+        #: the log memory-only and peers fail by disconnecting, never
+        #: crashing.  Bare strings are coerced to a policy with default
+        #: knobs (PR 5 behaviour); the original value stays visible as
+        #: ``self.durability`` for old call-sites.
         self.durability = durability
+        self.durability_policy = coerce_durability(durability)
         self.wal = None
-        if durability:
+        if self.durability_policy is not None:
             from repro.txn.durable_wal import DurableWal
 
+            policy = self.durability_policy
             self.wal = DurableWal(
-                durability, peer_id=peer_id, metrics=network.metrics
+                policy.directory,
+                peer_id=peer_id,
+                metrics=network.metrics,
+                segment_max_frames=policy.segment_max_frames,
+                batch_size=policy.wal_batch,
+                flush_interval=policy.flush_interval,
+                events=network.events,
+                checkpoint_every=policy.checkpoint_every,
+                document_source=self._snapshot_documents,
             )
             self.manager.log.sink = self.wal
         # Per-peer stream derived with a process-stable digest — never
@@ -162,6 +177,22 @@ class AXMLPeer:
 
     def hosts_document(self, name: str) -> bool:
         return name in self.documents
+
+    def _snapshot_documents(self) -> Dict[str, str]:
+        """Serialized hosted documents, for the WAL's checkpointer."""
+        return {name: doc.to_xml() for name, doc in self.documents.items()}
+
+    def _wal_barrier(self) -> None:
+        """The ``flush_on_prepare`` barrier: buffered WAL frames must be
+        durable before this peer sends a message another peer acts on
+        (share hand-off, invocation requests).  No-op without group
+        commit or with the barrier disabled."""
+        if self.wal is None:
+            return
+        policy = self.durability_policy
+        if policy is not None and not policy.flush_on_prepare:
+            return
+        self.wal.flush()
 
     def set_fault_policy(
         self, method_name: str, policies: Sequence[FaultPolicy]
@@ -377,6 +408,7 @@ class AXMLPeer:
                 reused_fragments=reuse,
             )
             self.network.metrics.record_invocation()
+            self._wal_barrier()
             try:
                 result = self.network.rpc(self.peer_id, target_peer, request)
             except (ServiceFault, PeerDisconnected) as exc:
@@ -583,6 +615,9 @@ class AXMLPeer:
             if self.parent_watch_interval is not None:
                 self._arm_parent_watch(request.txn_id, context)
             my_chain = self.chains.get(request.txn_id)
+            # Share hand-off: the entries behind these fragments must be
+            # durable before the invoker acts on the result.
+            self._wal_barrier()
             return InvokeResult(
                 fragments=response.fragments,
                 provider_peer=self.peer_id,
@@ -684,6 +719,7 @@ class AXMLPeer:
                 reused_fragments=reuse,
             )
             self.network.metrics.record_invocation()
+            self._wal_barrier()
             result = self.network.rpc(self.peer_id, peer, request)
             for provider, plan_xml in result.compensations:
                 self.manager.context(txn_id).record_compensation_definition(
@@ -987,6 +1023,13 @@ class AXMLPeer:
 
         self.manager.log = OperationLog(self.peer_id)
         if self.wal is not None:
+            # Group commit: frames still buffered in memory die with the
+            # process.  Their document effects must die too — the
+            # restarted peer's WAL has no record to compensate them from
+            # — so undo them here (the write-ahead rule, enforced late).
+            unflushed = self.wal.discard_unflushed()
+            if unflushed:
+                self._undo_unflushed(unflushed)
             self.wal.close()
         self.chains.clear()
         self.reusable_results.clear()
@@ -997,6 +1040,24 @@ class AXMLPeer:
         self._txn_spans.clear()
         self.network.metrics.incr("peer_crashes")
 
+    def _undo_unflushed(self, entries) -> None:
+        """Roll the durable store back over entries lost with the
+        group-commit buffer.  Safe because the ``flush_on_prepare``
+        barrier guarantees an unflushed entry belongs to a share whose
+        result was never handed off — the invoker saw this crash as a
+        failed invocation, so no other peer depends on the effect."""
+        from repro.txn.operations import build_compensation
+        from repro.txn.wal import OperationLog
+
+        log = OperationLog.from_entries(self.peer_id, entries)
+        for txn_id in sorted({e.txn_id for e in entries}):
+            for plan in build_compensation(log, txn_id):
+                if plan.document_name not in self.documents:
+                    continue
+                plan.execute(
+                    self.get_axml_document(plan.document_name).document
+                )
+
     # ------------------------------------------------------------------
     # rejoin (the P2P churn story: peers "joining and leaving arbitrarily")
     # ------------------------------------------------------------------
@@ -1004,7 +1065,7 @@ class AXMLPeer:
     def rejoin(
         self,
         restored_log_text: Optional[str] = None,
-        mode: str = "compensate",
+        mode: Union[str, RejoinMode] = RejoinMode.COMPENSATE,
     ) -> int:
         """Rejoin the network, compensating in-flight transactions.
 
@@ -1021,25 +1082,32 @@ class AXMLPeer:
         the restart-from-disk story, where in-memory contexts are gone
         but the log survives.
 
-        ``mode`` decides what happens to the recovered transactions:
+        ``mode`` (a :class:`~repro.txn.modes.RejoinMode`; the old
+        strings are coerced) decides what happens to the recovered
+        transactions:
 
-        * ``"compensate"`` (default): compensate every recovered share
-          immediately — correct when the rest of the system already
-          aborted around the dead peer.
-        * ``"in_doubt"``: rebuild an ``ACTIVE`` context per recovered
-          transaction and leave the decision to a later
+        * :attr:`RejoinMode.COMPENSATE` (default): compensate every
+          recovered share immediately — correct when the rest of the
+          system already aborted around the dead peer.
+        * :attr:`RejoinMode.IN_DOUBT`: rebuild an ``ACTIVE`` context per
+          recovered transaction and leave the decision to a later
           :meth:`resolve_in_doubt`.  Required after a *crash*: a share
           whose invocation completed before the crash may belong to a
           transaction that globally committed — compensating it
           unconditionally would undo committed work.
+
+        With checkpointing enabled, recovery restores any document
+        snapshot the latest valid checkpoint carried for a document this
+        peer no longer holds in memory (hosted documents normally model
+        the durable store and survive a crash, so existing documents are
+        never overwritten).
 
         Returns the number of transactions compensated (or, in
         ``"in_doubt"`` mode, rebuilt as in-doubt).
         """
         from repro.txn.wal import OperationLog
 
-        if mode not in ("compensate", "in_doubt"):
-            raise ValueError(f"unknown rejoin mode {mode!r}")
+        mode = RejoinMode.coerce(mode)
         self.network.reconnect(self.peer_id)
         self.disconnected = False
         compensated = 0
@@ -1051,10 +1119,17 @@ class AXMLPeer:
                 self.peer_id, self.wal.reload()
             )
             restored.sink = self.wal
+            recovery = self.wal.last_recovery
+            if recovery is not None:
+                for name, xml in sorted(recovery.documents.items()):
+                    if name not in self.documents:
+                        self.documents[name] = AXMLDocument.from_xml(
+                            xml, name=name
+                        )
         if restored is not None:
             self.manager.log = restored
             txn_ids = sorted({entry.txn_id for entry in restored})
-            if mode == "in_doubt":
+            if mode is RejoinMode.IN_DOUBT:
                 for txn_id in txn_ids:
                     context = self.manager.begin(
                         Transaction(txn_id, self.peer_id)

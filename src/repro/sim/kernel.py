@@ -206,6 +206,46 @@ class EventQueue:
         return fired
 
 
+class OneShotTimer:
+    """A re-armable single-pending-event timer over an :class:`EventQueue`.
+
+    ``arm(delay)`` schedules the callback once; further ``arm`` calls
+    while a firing is pending are no-ops (the earliest deadline wins).
+    After the callback fires — or after :meth:`cancel` — the timer can
+    be armed again.  This is the shape group commit needs for its
+    virtual-time flush quantum: a periodic self-rescheduling event would
+    keep ``run_all()`` spinning forever, while a one-shot armed only
+    when work is actually buffered drains naturally.
+    """
+
+    __slots__ = ("_events", "_callback", "_handle")
+
+    def __init__(self, events: EventQueue, callback: Callable[[], None]):
+        self._events = events
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    def arm(self, delay: float) -> None:
+        """Schedule the callback *delay* from now unless already pending."""
+        if self.armed:
+            return
+        self._handle = self._events.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Drop the pending firing, if any (idempotent)."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+
 class ScratchSpace:
     """Deterministically-named scratch directories under one random root.
 

@@ -5,8 +5,8 @@ compensations after a failure, which only works if the log outlives the
 process.  :class:`DurableWal` is an incremental append-only on-disk WAL
 that a peer attaches to its in-memory :class:`~repro.txn.wal.OperationLog`
 via the :class:`~repro.txn.wal.LogSink` hook: every appended
-:class:`~repro.txn.wal.LogEntry` is streamed to disk *at append time* as
-a self-delimiting frame (the entry's own XML encoding, see
+:class:`~repro.txn.wal.LogEntry` is streamed to disk as a
+self-delimiting frame (the entry's own XML encoding, see
 :func:`repro.txn.wal.entry_to_xml`), and every commit/abort-time
 ``truncate`` is recorded as a tombstone frame.
 
@@ -25,20 +25,42 @@ the durable prefix; the tail is discarded (and physically truncated by
 after the in-memory log accepted the entry, the durable prefix is always
 a consistent prefix of what the peer had applied.
 
-Tombstones are compacted at segment rollover: once
-``segment_max_frames`` frames accumulate, the still-live entries are
-rewritten into a fresh segment and older segments are deleted, so
-committed transactions stop occupying disk.  A crash between writing the
-new segment and deleting the old one is safe — a scan merges segments by
-``seq`` (later occurrences win) and re-applies tombstones.
+Group commit (``batch_size`` > 1): appends accumulate in a bounded
+in-memory buffer and reach disk as **one multi-frame write** when the
+buffer fills, when the virtual-time flush quantum (``flush_interval``)
+expires, or when a **barrier** forces them out: tombstone frames always
+flush first (a commit/compensation record must never precede its
+entries), and peers flush before protocol-critical message sends (the
+``flush_on_prepare`` barrier — see ``docs/DURABILITY.md``).  Buffered
+frames are volatile: a crash discards them (:meth:`discard_unflushed`),
+and the crashing peer undoes their document effects so the durable
+prefix and the durable store agree.
+
+Checkpoints (``checkpoint_every`` > 0): every N appended entries the
+WAL publishes a :class:`~repro.txn.checkpoint.Checkpoint` — hosted
+documents + the live entry set — and starts a fresh segment, so restart
+replays only the segment tail written after the newest valid
+checkpoint.  Retention keeps two checkpoint generations: segments
+covered by the *previous* checkpoint are deleted only when the *next*
+one publishes, so a checkpoint file torn by a crash mid-publish still
+leaves a complete fallback (older checkpoint + longer tail).  While
+checkpointing is on, segment rollover compaction is disabled —
+checkpoints subsume it, and an interleaved compaction could drop a
+tombstone that the checkpoint-plus-tail merge still needs.
+
+Without those two knobs (``batch_size=1``, ``checkpoint_every=0``) the
+write path is byte-for-byte the PR 5 behaviour: one flushed frame per
+append, rollover compaction at ``segment_max_frames``, and none of the
+new counters fire.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.txn.checkpoint import Checkpoint, CheckpointStore
 from repro.txn.wal import LogEntry, entry_bytes, entry_from_xml, entry_to_xml
 
 MAGIC = "AXMLWAL"
@@ -55,6 +77,15 @@ class WalScan:
     torn: bool = False
     #: Frames (entries + tombstones) read from the durable prefix.
     frames: int = 0
+    #: Entry frames replayed from segments — with a checkpoint, only the
+    #: tail written after it; without, every entry frame on disk.
+    replayed: int = 0
+    #: Index of the checkpoint the scan was based on (0 = none).
+    checkpoint_index: int = 0
+    #: Newer checkpoint files that failed validation and were skipped.
+    checkpoint_torn: int = 0
+    #: Document snapshots carried by the checkpoint (name → XML).
+    documents: Dict[str, str] = field(default_factory=dict)
 
 
 class DurableWal:
@@ -62,10 +93,13 @@ class DurableWal:
 
     ``metrics`` (a :class:`repro.sim.metrics.MetricsCollector`) receives
     ``wal_appends`` / ``wal_bytes`` / ``wal_tombstones`` /
-    ``wal_compactions`` counters.  ``wal_bytes`` counts *logical*
-    payload bytes (:func:`repro.txn.wal.entry_bytes`), not frame
-    lengths — frame lengths embed process-global serials and would make
-    summaries non-deterministic.
+    ``wal_compactions`` counters — plus, when the respective features
+    are on, ``wal_batch_flushes`` / ``wal_unflushed_discarded`` /
+    ``checkpoints`` / ``checkpoint_bytes`` / ``checkpoints_torn`` and
+    ``recovery_replay_entries``.  Byte counters track *logical* payload
+    (:func:`repro.txn.wal.entry_bytes`, document XML lengths), never
+    frame lengths — frame lengths embed process-global serials and would
+    make summaries non-deterministic.
     """
 
     def __init__(
@@ -74,23 +108,57 @@ class DurableWal:
         peer_id: str = "",
         metrics=None,
         segment_max_frames: int = 256,
+        batch_size: int = 1,
+        flush_interval: Optional[float] = None,
+        events=None,
+        checkpoint_every: int = 0,
+        document_source: Optional[Callable[[], Dict[str, str]]] = None,
     ):
         if segment_max_frames < 2:
             raise ValueError("segment_max_frames must be >= 2")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
         self.directory = directory
         self.peer_id = peer_id
         self.metrics = metrics
         self.segment_max_frames = segment_max_frames
+        self.batch_size = batch_size
+        self.flush_interval = flush_interval
+        self.checkpoint_every = checkpoint_every
+        self._document_source = document_source
         os.makedirs(directory, exist_ok=True)
-        #: Mirror of the live (not-yet-truncated) entries, for rollover.
+        #: Mirror of the live (not-yet-truncated) entries, for rollover
+        #: and checkpoints.  Includes buffered-but-unflushed entries.
         self._live: List[LogEntry] = []
         #: Per-segment byte offset of the durable prefix (set by scans).
         self._good_offsets: Dict[str, int] = {}
+        #: Group-commit buffer: frames accepted but not yet on disk.
+        self._pending: List[Tuple[str, str]] = []
+        self._pending_entries: List[LogEntry] = []
+        #: Highest entry seq ever appended (checkpoint header bookkeeping).
+        self._last_seq = 0
+        self._appends_since_ckpt = 0
+        self._ckpt_store: Optional[CheckpointStore] = (
+            CheckpointStore(directory, peer_id) if checkpoint_every > 0 else None
+        )
+        self._ckpt_index = 0
+        #: Tail watermark of the previously published checkpoint: the
+        #: segments below it become deletable at the *next* publish.
+        self._prev_tail = 0
+        #: What the last :meth:`reload` recovered (a :class:`WalScan`).
+        self.last_recovery: Optional[WalScan] = None
+        self._timer = None
+        if events is not None and batch_size > 1 and flush_interval:
+            from repro.sim.kernel import OneShotTimer
+
+            self._timer = OneShotTimer(events, self.flush)
         self._fh = None
         self._segment_index = 0
         self._segment_frames = 0
         existing = self._segment_paths()
-        if existing:
+        if existing or (self._ckpt_store and self._ckpt_store.paths()):
             # Adopt an existing directory (restart): scan + truncate tail.
             self.reload()
         else:
@@ -100,6 +168,10 @@ class DurableWal:
 
     def _segment_name(self, index: int) -> str:
         return f"wal-{index:06d}.seg"
+
+    @staticmethod
+    def _segment_index_of(path: str) -> int:
+        return int(os.path.basename(path)[4:-4])
 
     def _segment_paths(self) -> List[str]:
         try:
@@ -127,17 +199,90 @@ class DurableWal:
     # -- LogSink ----------------------------------------------------------
 
     def on_append(self, entry: LogEntry) -> None:
-        self._write_frame("E", entry_to_xml(entry))
         self._live.append(entry)
+        self._last_seq = max(self._last_seq, entry.seq)
         self._incr("wal_appends")
         self._incr("wal_bytes", entry_bytes(entry))
-        self._maybe_rollover()
+        self._appends_since_ckpt += 1
+        if self.batch_size <= 1:
+            self._write_frame("E", entry_to_xml(entry))
+            self._maybe_rollover()
+            self._maybe_checkpoint()
+            return
+        self._pending.append(("E", entry_to_xml(entry)))
+        self._pending_entries.append(entry)
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+        elif self._timer is not None:
+            self._timer.arm(self.flush_interval)
 
     def on_truncate(self, txn_id: str) -> None:
+        # Barrier: a tombstone must never reach disk before the entries
+        # it settles, so any buffered batch flushes first.
+        if self._flush_pending():
+            self._incr("wal_batch_flushes")
         self._write_frame("T", txn_id)
         self._live = [e for e in self._live if e.txn_id != txn_id]
         self._incr("wal_tombstones")
         self._maybe_rollover()
+        self._maybe_checkpoint()
+
+    # -- group commit ------------------------------------------------------
+
+    def flush(self) -> int:
+        """Write the buffered batch as one multi-frame write; returns
+        how many frames were flushed (0 = nothing pending).  This is the
+        ``flush_on_prepare`` barrier peers call before message sends."""
+        wrote = self._flush_pending()
+        if wrote:
+            self._incr("wal_batch_flushes")
+            self._maybe_rollover()
+            self._maybe_checkpoint()
+        return wrote
+
+    def _flush_pending(self) -> int:
+        if not self._pending:
+            return 0
+        if self._fh is None:
+            raise RuntimeError("DurableWal is closed")
+        chunks: List[bytes] = []
+        for kind, payload in self._pending:
+            data = payload.encode("utf-8")
+            chunks.append(f"{kind} {len(data)}\n".encode("ascii"))
+            chunks.append(data)
+            chunks.append(b"\n")
+        self._fh.write(b"".join(chunks))
+        self._fh.flush()
+        wrote = len(self._pending)
+        self._segment_frames += wrote
+        self._pending.clear()
+        self._pending_entries.clear()
+        if self._timer is not None:
+            self._timer.cancel()
+        return wrote
+
+    def pending_entries(self) -> List[LogEntry]:
+        """Buffered-but-unflushed entries (read-only view)."""
+        return list(self._pending_entries)
+
+    def discard_unflushed(self) -> List[LogEntry]:
+        """Crash path: drop the buffered batch *without* writing it.
+
+        Returns the discarded entries so the caller can undo their
+        document effects — with write-ahead batching, an effect whose
+        log entry never reached disk must not survive the crash either
+        (the restarted peer could not compensate it).
+        """
+        dropped = list(self._pending_entries)
+        self._pending.clear()
+        self._pending_entries.clear()
+        if self._timer is not None:
+            self._timer.cancel()
+        if dropped:
+            lost = {e.seq for e in dropped}
+            self._live = [e for e in self._live if e.seq not in lost]
+            self._incr("wal_unflushed_discarded", len(dropped))
+        return dropped
 
     # -- framing ----------------------------------------------------------
 
@@ -152,6 +297,11 @@ class DurableWal:
         self._segment_frames += 1
 
     def _maybe_rollover(self) -> None:
+        if self.checkpoint_every > 0:
+            # Checkpoints subsume rollover compaction; an interleaved
+            # compaction could drop a tombstone the checkpoint-plus-tail
+            # merge still needs to suppress a checkpointed entry.
+            return
         if self._segment_frames < self.segment_max_frames:
             return
         old_paths = self._segment_paths()
@@ -167,33 +317,112 @@ class DurableWal:
                 os.unlink(path)
         self._incr("wal_compactions")
 
+    # -- checkpoints -------------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        if self.checkpoint_every <= 0:
+            return
+        if self._appends_since_ckpt >= self.checkpoint_every:
+            self.take_checkpoint()
+
+    def take_checkpoint(self) -> Optional[Checkpoint]:
+        """Publish a checkpoint now and start a fresh tail segment.
+
+        Flushes any buffered batch first (a checkpoint covers only what
+        is durable), then writes documents + the live entry set through
+        :class:`~repro.txn.checkpoint.CheckpointStore` (atomic publish,
+        trailing checksum).  Retention deletes the segments covered by
+        the *previous* checkpoint and retires checkpoints older than it,
+        keeping exactly two generations on disk.
+        """
+        if self._ckpt_store is None:
+            return None
+        if self._flush_pending():
+            self._incr("wal_batch_flushes")
+        documents = (
+            dict(self._document_source())
+            if self._document_source is not None else {}
+        )
+        self._fh.close()
+        self._open_segment(self._segment_index + 1)
+        checkpoint = Checkpoint(
+            index=self._ckpt_index + 1,
+            last_seq=self._last_seq,
+            tail_segment=self._segment_index,
+            documents=documents,
+            entries=sorted(self._live, key=lambda e: e.seq),
+        )
+        self._ckpt_store.write(checkpoint)
+        for path in self._segment_paths():
+            if self._segment_index_of(path) < self._prev_tail:
+                os.unlink(path)
+        self._ckpt_store.retire(checkpoint.index - 1)
+        self._ckpt_index = checkpoint.index
+        self._prev_tail = checkpoint.tail_segment
+        self._appends_since_ckpt = 0
+        self._incr("checkpoints")
+        self._incr("checkpoint_bytes", checkpoint.logical_bytes())
+        return checkpoint
+
     # -- scanning ---------------------------------------------------------
 
-    def load(self) -> WalScan:
+    def load(self, include_pending: bool = False) -> WalScan:
         """Read-only scan: durable live entries, sorted by seq.
 
-        Merges all segments (later occurrence of a seq wins), applies
-        tombstones, and discards any torn tail without modifying disk.
+        With checkpointing, bases the merge on the newest valid
+        checkpoint and replays only segments at or past its
+        ``tail_segment`` watermark (torn checkpoint files are skipped,
+        falling back to the previous generation).  Tail tombstones apply
+        to checkpointed entries too.  ``include_pending`` overlays the
+        buffered-but-unflushed batch — what the WAL *would* recover if
+        the batch were flushed — which is how the oracle accounts for
+        the group-commit window without mutating anything.
         """
         by_seq: Dict[int, LogEntry] = {}
         tombstoned: Set[str] = set()
+        checkpoint: Optional[Checkpoint] = None
+        ckpt_torn = 0
+        if self._ckpt_store is not None:
+            checkpoint, ckpt_torn = self._ckpt_store.load_latest()
+        if checkpoint is not None:
+            for entry in checkpoint.entries:
+                by_seq[entry.seq] = entry
+        floor = checkpoint.tail_segment if checkpoint is not None else 0
         torn = False
         frames = 0
+        replayed = 0
         for path in self._segment_paths():
-            seg_frames, seg_torn = self._scan_segment(path, by_seq, tombstoned)
+            if self._segment_index_of(path) < floor:
+                continue
+            seg_frames, seg_torn, seg_entries = self._scan_segment(
+                path, by_seq, tombstoned
+            )
             frames += seg_frames
             torn = torn or seg_torn
+            replayed += seg_entries
+        if include_pending:
+            for entry in self._pending_entries:
+                by_seq[entry.seq] = entry
         live = [
             e for _, e in sorted(by_seq.items())
             if e.txn_id not in tombstoned
         ]
-        return WalScan(entries=live, torn=torn, frames=frames)
+        return WalScan(
+            entries=live,
+            torn=torn,
+            frames=frames,
+            replayed=replayed,
+            checkpoint_index=checkpoint.index if checkpoint is not None else 0,
+            checkpoint_torn=ckpt_torn,
+            documents=dict(checkpoint.documents) if checkpoint is not None else {},
+        )
 
     def _scan_segment(self, path, by_seq, tombstoned):
         """Scan one segment into *by_seq*/*tombstoned*.
 
-        Returns ``(good_frames, torn)``; as a side effect records the
-        byte offset of the durable prefix in ``self._good_offsets``.
+        Returns ``(good_frames, torn, entry_frames)``; as a side effect
+        records the byte offset of the durable prefix in
+        ``self._good_offsets``.
         """
         with open(path, "rb") as fh:
             blob = fh.read()
@@ -203,10 +432,11 @@ class DurableWal:
         ).startswith(f"{MAGIC} {VERSION}")
         if not header_ok:
             self._good_offsets[path] = 0
-            return 0, True
+            return 0, True, 0
         pos = newline + 1
         good = pos
         frames = 0
+        entry_frames = 0
         torn = False
         last_seq = 0
         while pos < len(blob):
@@ -227,6 +457,7 @@ class DurableWal:
                     break
                 last_seq = entry.seq
                 by_seq[entry.seq] = entry
+                entry_frames += 1
             elif kind == "T":
                 tombstoned.add(payload)
             else:
@@ -235,7 +466,7 @@ class DurableWal:
             good = pos
             frames += 1
         self._good_offsets[path] = good
-        return frames, torn
+        return frames, torn, entry_frames
 
     @staticmethod
     def _read_frame(blob: bytes, pos: int):
@@ -258,26 +489,49 @@ class DurableWal:
     # -- restart ----------------------------------------------------------
 
     def reload(self) -> List[LogEntry]:
-        """Restart path: scan, discard any torn tail, and compact the
+        """Restart path: recover from checkpoint + tail (or a full scan
+        without checkpoints), discard any torn tail, and compact the
         durable live entries into a fresh segment.  Returns the live
-        entries (sorted by seq) for the peer to rebuild its log from.
+        entries (sorted by seq) for the peer to rebuild its log from;
+        the full scan — including recovered document snapshots — stays
+        available as :attr:`last_recovery`.
 
         Always starting a new segment (rather than appending to the old
         tail) keeps the within-segment seq-monotonicity invariant even
         when the restarted peer's seq counter restarts below the old
-        tail's highest seq.
+        tail's highest seq.  Checkpoint files are dropped after the
+        compaction (their watermarks point at deleted segments); the
+        index keeps counting monotonically.
         """
         if self._fh is not None:
             self._fh.close()
             self._fh = None
         self._good_offsets = {}
+        # A reload models a restart: the buffered batch is volatile.
+        self._pending.clear()
+        self._pending_entries.clear()
+        if self._timer is not None:
+            self._timer.cancel()
         scan = self.load()
         if scan.torn:
             self._incr("wal_torn_tails")
+        if scan.checkpoint_torn:
+            self._incr("checkpoints_torn", scan.checkpoint_torn)
+        self._incr("recovery_replay_entries", scan.replayed)
         self._live = list(scan.entries)
+        self._last_seq = max(
+            [e.seq for e in self._live], default=self._last_seq
+        )
+        if self._ckpt_store is not None:
+            self._ckpt_index = max(
+                self._ckpt_index, self._ckpt_store.latest_index()
+            )
+            self._ckpt_store.delete_all()
+        self._prev_tail = 0
+        self._appends_since_ckpt = 0
         old_paths = self._segment_paths()
         last_index = (
-            int(os.path.basename(old_paths[-1])[4:-4]) if old_paths else 0
+            self._segment_index_of(old_paths[-1]) if old_paths else 0
         )
         self._open_segment(last_index + 1)
         for entry in self._live:
@@ -289,14 +543,20 @@ class DurableWal:
             if path != new_path:
                 os.unlink(path)
         self._incr("wal_reloads")
+        self.last_recovery = scan
         return list(self._live)
 
     # -- lifecycle --------------------------------------------------------
 
     def close(self) -> None:
         if self._fh is not None:
+            # Graceful shutdown persists the buffered batch (a crash
+            # goes through discard_unflushed instead).
+            self._flush_pending()
             self._fh.close()
             self._fh = None
+        if self._timer is not None:
+            self._timer.cancel()
 
     def __enter__(self) -> "DurableWal":
         return self

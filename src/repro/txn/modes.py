@@ -1,0 +1,134 @@
+"""Typed durability and rejoin knobs (replacing stringly parameters).
+
+PR 5 grew two stringly-typed parameters: ``AXMLPeer(durability=<dir>)``
+(a bare directory path meaning "attach an on-disk WAL there") and
+``AXMLPeer.rejoin(mode="compensate"|"in_doubt")``.  This module gives
+both a typed surface while keeping every old call-site working — the
+strings are *coerced*, never rejected.
+
+Mapping notes (old → new), in the spirit of ``repro/outcome.py``:
+
+===========================  =============================================
+old spelling                 new spelling
+===========================  =============================================
+``durability=None``          ``durability=None`` (≡ ``Durability.MEMORY``)
+``durability="/wal/dir"``    ``DurabilityPolicy(directory="/wal/dir")``
+                             (≡ ``Durability.WAL`` with default knobs;
+                             the bare string is still accepted and
+                             coerced by :func:`coerce_durability`)
+``rejoin(mode="compensate")``  ``rejoin(mode=RejoinMode.COMPENSATE)``
+``rejoin(mode="in_doubt")``    ``rejoin(mode=RejoinMode.IN_DOUBT)``
+===========================  =============================================
+
+:class:`DurabilityPolicy` also carries the PR 7 write-path knobs that a
+bare path could never express: group-commit batching (``wal_batch``,
+``flush_interval``, ``flush_on_prepare``) and checkpointing
+(``checkpoint_every``) — see ``docs/DURABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+class Durability(enum.Enum):
+    """Whether a peer's operation log outlives its process."""
+
+    #: In-memory log only; the peer fails by disconnecting, never crashing.
+    MEMORY = "memory"
+    #: Every log entry streamed to an on-disk WAL (``repro.txn.durable_wal``).
+    WAL = "wal"
+
+    @classmethod
+    def coerce(cls, value: Union["Durability", str]) -> "Durability":
+        """Accept the enum or its string value (``"memory"`` / ``"wal"``)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown durability {value!r}; use one of "
+                f"{[m.value for m in cls]}"
+            ) from None
+
+
+class RejoinMode(enum.Enum):
+    """What :meth:`AXMLPeer.rejoin` does with recovered shares."""
+
+    #: Compensate every recovered share immediately (the caller knows
+    #: the rest of the system already aborted around the dead peer).
+    COMPENSATE = "compensate"
+    #: Rebuild an ``ACTIVE`` in-doubt context per recovered transaction
+    #: and wait for ``resolve_in_doubt`` — required after a crash.
+    IN_DOUBT = "in_doubt"
+
+    @classmethod
+    def coerce(cls, value: Union["RejoinMode", str]) -> "RejoinMode":
+        """Accept the enum or its string value; unknown strings raise
+        the same ``ValueError`` the stringly API raised."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(f"unknown rejoin mode {value!r}") from None
+
+
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """Every knob of a peer's durable WAL, in one frozen value.
+
+    ``mode`` is :attr:`Durability.WAL` whenever a ``directory`` is set.
+    The defaults reproduce PR 5's write path exactly: one physical
+    flush per frame (``wal_batch=1``), no flush timer, no checkpoints —
+    so a policy built from a bare directory string changes nothing.
+    """
+
+    directory: str = ""
+    #: Frames buffered per group-commit batch; 1 = flush every frame.
+    wal_batch: int = 1
+    #: Virtual-time flush quantum for a partially-filled batch (needs
+    #: an event queue; ``None`` = no timer, barriers/batch-size only).
+    flush_interval: Optional[float] = 0.05
+    #: Barrier-flush before protocol-critical message sends (share
+    #: hand-off, invocation requests) so a durable entry can never be
+    #: deferred past a message another peer acts on.
+    flush_on_prepare: bool = True
+    #: Take a checkpoint every N appended entries; 0 disables.
+    checkpoint_every: int = 0
+    #: Segment rollover threshold (ignored while checkpointing is on —
+    #: checkpoints subsume rollover compaction).
+    segment_max_frames: int = 256
+
+    def __post_init__(self) -> None:
+        if self.wal_batch < 1:
+            raise ValueError("wal_batch must be >= 1")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.flush_interval is not None and self.flush_interval <= 0:
+            raise ValueError("flush_interval must be positive (or None)")
+
+    @property
+    def mode(self) -> Durability:
+        return Durability.WAL if self.directory else Durability.MEMORY
+
+
+def coerce_durability(
+    value: Union[None, str, DurabilityPolicy]
+) -> Optional[DurabilityPolicy]:
+    """The ``AXMLPeer(durability=...)`` coercion: ``None`` stays None
+    (memory-only), a bare string is a WAL directory with default knobs,
+    a :class:`DurabilityPolicy` passes through."""
+    if value is None:
+        return None
+    if isinstance(value, DurabilityPolicy):
+        return value if value.directory else None
+    if isinstance(value, str):
+        return DurabilityPolicy(directory=value) if value else None
+    raise TypeError(
+        f"durability must be None, a directory path or a DurabilityPolicy, "
+        f"not {type(value).__name__}"
+    )

@@ -20,7 +20,9 @@ def _public_methods(cls) -> set:
 def test_api_all_snapshot():
     assert api.__all__ == [
         "Cluster", "Session", "Transaction", "Outcome", "OutcomeStatus",
+        "RunConfig", "SweepConfig",
         "chaos", "chaos_sweep",
+        "add_run_arguments", "add_sweep_arguments", "add_output_arguments",
     ]
 
 
