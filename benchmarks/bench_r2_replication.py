@@ -1,0 +1,205 @@
+"""R2 — WAL-shipping replication and deterministic failover.
+
+Two measurements (docs/REPLICATION.md):
+
+* Part A, replicated chaos sweep: seeded chaos runs with ``replicas=2``
+  and crash faults on.  The atomicity oracle (including the
+  ``replica_diverged`` predicate) must report **zero** violations for
+  every seed, and each run must be byte-identical when re-executed —
+  replication may not cost determinism.  Shipping volume (frames,
+  bytes, failovers, resyncs) is recorded per seed as context.
+* Part B, failover replay bound: a primary is killed while shipped
+  frames sit unacked on a lagging replica.  Failover must replay *only*
+  the shipped tail — the replayed entry count is gated to be at least 1
+  and at most the shipped lag at crash time (never a full state
+  transfer on the hot path).
+
+Gates are deterministic (logical counters, not wall time); wall-clock
+times are informational only.
+
+Run:  python benchmarks/bench_r2_replication.py [--smoke]
+Out:  benchmarks/results/BENCH_R2[_smoke].json   (repro-bench-perf/1)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from _util import perf_record, publish_perf
+
+from repro.axml.document import AXMLDocument
+from repro.chaos import ChaosConfig, run_chaos
+from repro.chaos.shrink import summary_text
+from repro.p2p.network import SimNetwork
+from repro.p2p.peer import AXMLPeer
+from repro.p2p.replication import ReplicationManager
+from repro.services.descriptor import ParamSpec, ServiceDescriptor
+from repro.services.service import UpdateService
+from repro.txn.recovery import DISCONNECT_FAULT, FaultPolicy
+
+SHOP2 = "<Shop2><item id='1'><price>10</price></item></Shop2>"
+
+SET_PRICE = (
+    '<action type="replace"><data><price>$price</price></data>'
+    "<location>Select i/price from i in Shop2//item;</location></action>"
+)
+
+
+def bench_replicated_sweep(args) -> dict:
+    """Part A: zero-violation, deterministic replicated chaos sweep."""
+    seeds = range(1, 4) if args.smoke else range(1, 11)
+    txns = 8 if args.smoke else 12
+    rows = []
+    violations_total = 0
+    nondeterministic = 0
+    start = time.perf_counter()
+    for seed in seeds:
+        config = ChaosConfig(
+            seed=seed, txns=txns, fault_rate=0.2, crash_rate=0.3,
+            replicas=2, ship_batch=2, durability=True,
+        )
+        result = run_chaos(config)
+        rerun = run_chaos(config)
+        identical = summary_text(result) == summary_text(rerun)
+        nondeterministic += 0 if identical else 1
+        violations_total += len(result.violations)
+        counters = result.summary["metrics"]["counters"]
+        rows.append({
+            "seed": seed,
+            "violations": len(result.violations),
+            "deterministic": identical,
+            "ship_frames": counters.get("ship_frames", 0),
+            "ship_bytes": counters.get("ship_bytes", 0),
+            "failovers": counters.get("failovers", 0),
+            "replica_resyncs": counters.get("replica_resyncs", 0),
+        })
+        print(
+            f"R2/A seed {seed}: {len(result.violations)} violations, "
+            f"{counters.get('ship_frames', 0)} frames "
+            f"({counters.get('ship_bytes', 0)} bytes) shipped, "
+            f"{counters.get('failovers', 0)} failovers, "
+            f"deterministic={identical}"
+        )
+    elapsed = time.perf_counter() - start
+    return perf_record(
+        "replicated_chaos_sweep",
+        args.seed,
+        elapsed,
+        1.0,  # gate quantity is the violation count, not a ratio
+        seeds=list(seeds),
+        txns_per_seed=txns,
+        violations_total=violations_total,
+        nondeterministic_seeds=nondeterministic,
+        rows=rows,
+    )
+
+
+def bench_failover_replay(args) -> dict:
+    """Part B: failover replays the shipped tail, bounded by the lag."""
+    network = SimNetwork()
+    replication = ReplicationManager(network)
+    origin = AXMLPeer("AP1", network)
+    primary = AXMLPeer("AP2", network)
+    primary.host_document(AXMLDocument.from_xml(SHOP2, name="Shop2"))
+    primary.host_service(UpdateService(
+        ServiceDescriptor(
+            "setPrice", kind="update", params=(ParamSpec("price"),),
+            target_document="Shop2",
+        ),
+        SET_PRICE,
+    ))
+    replication.register_primary("Shop2", "AP2")
+    replication.register_service("setPrice", "AP2")
+    AXMLPeer("AP3", network)
+    replication.replicate_document("Shop2", "AP3")
+    replication.replicate_service("setPrice", "AP3")
+    origin.set_fault_policy(
+        "setPrice", [FaultPolicy(fault_names={DISCONNECT_FAULT}, retry_times=1)]
+    )
+
+    # Commit N transactions against a lagging replica: frames pile up
+    # unacked in AP3's inbox.
+    committed = 4 if args.smoke else 12
+    replication.lag_replica("AP3")
+    for i in range(committed):
+        txn = origin.begin_transaction()
+        origin.invoke(txn.txn_id, "AP2", "setPrice", {"price": str(20 + i)})
+        origin.commit(txn.txn_id)
+    shipped_lag = len(replication._channel("AP2", "AP3").unacked)
+
+    # Kill the primary between flush and ack; the next invocation fails
+    # over and must replay exactly the shipped tail.
+    network.disconnect("AP2")
+    start = time.perf_counter()
+    txn = origin.begin_transaction()
+    origin.invoke(txn.txn_id, "AP2", "setPrice", {"price": "99"})
+    origin.commit(txn.txn_id)
+    elapsed = time.perf_counter() - start
+    replayed = network.metrics.get("failover_replay_entries")
+    print(
+        f"R2/B failover: {shipped_lag} shipped-unacked entries at crash, "
+        f"{replayed} replayed on the failover target "
+        f"({network.metrics.get('failovers')} failovers, {elapsed:.4f}s)"
+    )
+    return perf_record(
+        "failover_replay_bound",
+        args.seed,
+        elapsed,
+        1.0,
+        committed_before_crash=committed,
+        shipped_lag=shipped_lag,
+        failover_replay_entries=replayed,
+        failovers=network.metrics.get("failovers"),
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run (used by the CI perf gate)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    sweep_rec = bench_replicated_sweep(args)
+    replay_rec = bench_failover_replay(args)
+
+    suffix = "_smoke" if args.smoke else ""
+    path = publish_perf(
+        f"BENCH_R2{suffix}.json",
+        [sweep_rec, replay_rec],
+        smoke=args.smoke,
+    )
+    print(f"json artifact written: {path}")
+
+    # -- gates (deterministic counters, not wall time) --------------------
+    failed = []
+    if sweep_rec["violations_total"] != 0:
+        failed.append(
+            f"replicated sweep reported {sweep_rec['violations_total']} "
+            f"oracle violations (expected 0)"
+        )
+    if sweep_rec["nondeterministic_seeds"] != 0:
+        failed.append(
+            f"{sweep_rec['nondeterministic_seeds']} seeds were not "
+            f"byte-identical on rerun"
+        )
+    if not any(row["failovers"] > 0 for row in sweep_rec["rows"]):
+        failed.append("sweep never exercised a failover (weak coverage)")
+    replayed = replay_rec["failover_replay_entries"]
+    lag = replay_rec["shipped_lag"]
+    if not (1 <= replayed <= lag):
+        failed.append(
+            f"failover replayed {replayed} entries for a shipped lag of "
+            f"{lag} (expected 1 <= replayed <= lag)"
+        )
+    if failed:
+        for reason in failed:
+            print(f"FAILED: {reason}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

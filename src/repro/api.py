@@ -483,6 +483,11 @@ class RunConfig:
     checkpoint_every: int = 0
     #: WAL group-commit batch size; 1 = flush every frame.
     wal_batch: int = 1
+    #: Replicas per provider document/service; 0 = no replication.
+    replicas: int = 0
+    #: Committed entries buffered per channel before one WAL-ship
+    #: message goes on the wire.
+    ship_batch: int = 1
 
     def to_chaos_config(self):
         """The equivalent :class:`~repro.chaos.ChaosConfig` (with the
@@ -506,10 +511,15 @@ class RunConfig:
                 or self.mutate == "crash_skip_undo"
                 or self.checkpoint_every > 0
                 or self.wal_batch > 1
+                # WAL shipping streams the durable log, so replication
+                # implies the on-disk WAL too.
+                or self.replicas > 0
             ),
             crash_rate=self.crash_rate,
             checkpoint_every=self.checkpoint_every,
             wal_batch=self.wal_batch,
+            replicas=self.replicas,
+            ship_batch=self.ship_batch,
         )
 
     @classmethod
@@ -600,6 +610,14 @@ def add_run_arguments(parser) -> None:
         dest="wal_batch", metavar="N",
         help="WAL group-commit batch size (implies --durability "
              "when > 1)")
+    parser.add_argument(
+        "--replicas", type=int, default=RunConfig.replicas, metavar="R",
+        help="replicas per provider document/service "
+             "(WAL shipping + deterministic failover)")
+    parser.add_argument(
+        "--ship-batch", type=int, default=RunConfig.ship_batch,
+        dest="ship_batch", metavar="N",
+        help="committed WAL entries batched per ship message")
 
 
 def add_sweep_arguments(parser, workers_help: str = "") -> None:

@@ -25,7 +25,15 @@ relaxed-atomicity contract:
 * a durable peer's on-disk WAL tail agrees with its in-memory log
   (``wal_tail_inconsistent``): the same live entry seqs, and no torn
   frames after a settled run — the disk ↔ memory check
-  (``wal_tail_consistent`` predicate, see ``docs/DURABILITY.md``).
+  (``wal_tail_consistent`` predicate, see ``docs/DURABILITY.md``);
+* every alive replica of a replicated document serializes identically
+  to its primary after settlement (``replica_diverged``): WAL shipping
+  plus settlement resync must leave the whole replica set convergent
+  (see ``docs/REPLICATION.md``).
+
+When the cluster replicates documents, a committed transaction's
+markers are expected on *every* holder of the touched document — the
+shipped copies are part of the contract, not orphans.
 
 Each failed predicate becomes a :class:`Violation`; runs are judged by
 ``violations == []``.  The exact predicates are documented (with their
@@ -51,6 +59,7 @@ VIOLATION_KINDS = (
     "outcome_mismatch",
     "orphan_chain",
     "wal_tail_inconsistent",
+    "replica_diverged",
 )
 
 _MARKER = re.compile(r"<chaos\b([^>]*?)/?>")
@@ -79,6 +88,32 @@ class ExpectedEffect:
     document: str
     label: str
     step: str
+
+
+def _canonical_xml(xml: str) -> str:
+    """Order-insensitive canonical form of a serialized document.
+
+    Recursively sorts every element's children by their own canonical
+    serialization: two trees that hold the same nodes (same tags,
+    attributes and text) in any sibling interleaving canonicalize to
+    the same string.  Replication needs exactly this equivalence — the
+    primary applies operations in execution order while replicas apply
+    shipped frames per channel, and independent inserts into the same
+    parent commute.
+    """
+    import xml.etree.ElementTree as ElementTree
+
+    def norm(element) -> None:
+        for child in element:
+            norm(child)
+        element[:] = sorted(
+            element,
+            key=lambda c: ElementTree.tostring(c, encoding="unicode"),
+        )
+
+    root = ElementTree.fromstring(xml)
+    norm(root)
+    return ElementTree.tostring(root, encoding="unicode")
 
 
 def scan_markers(xml: str) -> List[Tuple[str, str]]:
@@ -129,6 +164,7 @@ class AtomicityOracle:
         violations.extend(self._check_contexts(peers))
         violations.extend(self._check_chains(peers))
         violations.extend(self._check_wal_tails(peers))
+        violations.extend(self._check_replicas(peers))
         return sorted(
             violations,
             key=lambda v: (v.kind, v.label, v.peer, v.document, v.detail),
@@ -143,23 +179,28 @@ class AtomicityOracle:
                     counts[key] = counts.get(key, 0) + 1
 
         violations: List[Violation] = []
+        replication = self._replication(peers)
         expected_keys: Set[Tuple[str, str, str, str]] = set()
         for effect in self.expected:
             if self.outcomes.get(effect.label) != "committed":
                 continue
-            key = (effect.peer, effect.document, effect.label, effect.step)
-            expected_keys.add(key)
-            seen = counts.get(key, 0)
-            if seen == 0:
-                violations.append(Violation(
-                    "effect_missing", effect.label, effect.peer,
-                    effect.document, f"step {effect.step}: 0 markers",
-                ))
-            elif seen > 1:
-                violations.append(Violation(
-                    "effect_duplicated", effect.label, effect.peer,
-                    effect.document, f"step {effect.step}: {seen} markers",
-                ))
+            # With replication, the committed marker must reach *every*
+            # holder of the document (WAL shipping copies it); without,
+            # the holder list degenerates to the effect's own peer.
+            for holder in self._effect_holders(replication, effect):
+                key = (holder, effect.document, effect.label, effect.step)
+                expected_keys.add(key)
+                seen = counts.get(key, 0)
+                if seen == 0:
+                    violations.append(Violation(
+                        "effect_missing", effect.label, holder,
+                        effect.document, f"step {effect.step}: 0 markers",
+                    ))
+                elif seen > 1:
+                    violations.append(Violation(
+                        "effect_duplicated", effect.label, holder,
+                        effect.document, f"step {effect.step}: {seen} markers",
+                    ))
         for (peer_id, doc_name, label, step), seen in sorted(counts.items()):
             key = (peer_id, doc_name, label, step)
             if key in expected_keys:
@@ -174,6 +215,64 @@ class AtomicityOracle:
                     "orphan_effect", label, peer_id, doc_name,
                     f"step {step}: {seen} unexpected markers",
                 ))
+        return violations
+
+    @staticmethod
+    def _replication(peers: Mapping[str, object]):
+        """The cluster's replication map, if any (via any peer's network)."""
+        for peer in peers.values():
+            return getattr(peer.network, "replication", None)
+        return None
+
+    @staticmethod
+    def _effect_holders(replication, effect: ExpectedEffect) -> List[str]:
+        """Every peer that must carry *effect*'s marker after settlement."""
+        if replication is not None:
+            holders = replication.holders(effect.document)
+            if len(holders) > 1 and effect.peer in holders:
+                return list(holders)
+        return [effect.peer]
+
+    def _check_replicas(self, peers: Mapping[str, object]) -> List[Violation]:
+        """``replica_diverged``: every alive replica ≡ its primary.
+
+        Equality is judged on the id-free *canonical* serialization:
+        node ids are rebound per host, and siblings are compared as a
+        multiset (:func:`_canonical_xml`) because the workload's only
+        write is an insert into an unordered collection — a holder that
+        applied the same logical operations in a different interleaving
+        (local execution vs. shipped frames from two primaries) has
+        converged; a holder with a missing, extra or altered node has
+        not.  Dead holders are skipped (settlement reconnects everyone,
+        so in practice this sweeps the full set).
+        """
+        replication = self._replication(peers)
+        if replication is None:
+            return []
+        violations: List[Violation] = []
+        for doc_name in sorted(replication.replicated_documents()):
+            holders = replication.holders(doc_name)
+            if len(holders) < 2:
+                continue
+            primary = peers.get(holders[0])
+            if primary is None or primary.disconnected:
+                continue
+            primary_xml = _canonical_xml(primary.documents[doc_name].to_xml())
+            for holder in holders[1:]:
+                peer = peers.get(holder)
+                if peer is None or peer.disconnected:
+                    continue
+                document = peer.documents.get(doc_name)
+                if document is None:
+                    violations.append(Violation(
+                        "replica_diverged", peer=holder, document=doc_name,
+                        detail="replica copy missing",
+                    ))
+                elif _canonical_xml(document.to_xml()) != primary_xml:
+                    violations.append(Violation(
+                        "replica_diverged", peer=holder, document=doc_name,
+                        detail=f"content differs from primary {holders[0]}",
+                    ))
         return violations
 
     def _check_logs(self, peers: Mapping[str, object]) -> List[Violation]:

@@ -24,7 +24,12 @@ the failure dimensions of §3.2–§3.3:
   (``rejoin(mode="in_doubt")``, see ``docs/DURABILITY.md``).  Only
   planned when the run enables ``durability``, and sampled from a
   *separate* RNG stream so existing seeds' plans keep their exact
-  event prefix.
+  event prefix;
+* ``kill_primary`` / ``lag_replica`` — replication faults (see
+  ``docs/REPLICATION.md``): a whole-process crash of a replicated
+  primary at an absolute time, and a replica whose WAL-apply loop is
+  suspended so it falls behind the shipped stream.  Only planned when
+  the run hosts replicas, again from a separate RNG stream.
 
 Every event is a plain dataclass that round-trips through JSON, so a
 plan can be minimized (``repro.chaos.shrink``) and replayed from a
@@ -48,6 +53,8 @@ KINDS = (
     "disconnect_point",
     "message_chaos",
     "crash",
+    "kill_primary",
+    "lag_replica",
 )
 
 
@@ -130,6 +137,7 @@ class FaultPlanner:
         disconnect_origins: bool = False,
         crash_rate: float = 0.0,
         checkpoints: bool = False,
+        replicas: int = 0,
     ):
         self.seed = seed
         self.providers = list(providers)
@@ -143,6 +151,11 @@ class FaultPlanner:
         #: Off by default: the extra draw would perturb the crashplan
         #: stream of existing checkpoint-less seeds.
         self.checkpoints = checkpoints
+        #: Replicas per provider document in the cluster.  > 0 adds the
+        #: replication fault kinds (``kill_primary``/``lag_replica``)
+        #: from their own RNG stream, appended last — existing seeds'
+        #: plans keep their exact event prefix.
+        self.replicas = replicas
 
     def plan(self) -> FaultPlan:
         rng = SeededRng(stable_seed(self.seed, "plan"))
@@ -174,6 +187,16 @@ class FaultPlanner:
             )
             for _ in range(int(round(self.crash_rate * self.txns))):
                 events.append(self._crash(crash_rng, tear_rng))
+        # Replication events come from yet another stream, appended after
+        # the crash events for the same reason: a plan for an existing
+        # seed with replicas=0 is byte-identical to before.
+        if self.replicas > 0 and self.providers:
+            repl_rng = SeededRng(stable_seed(self.seed, "replplan"))
+            if self.crash_rate > 0:
+                for _ in range(int(round(self.crash_rate * self.txns))):
+                    events.append(self._kill_primary(repl_rng))
+            for _ in range(int(round(self.fault_rate * self.txns))):
+                events.append(self._lag_replica(repl_rng))
         return FaultPlan(tuple(events))
 
     # -- samplers ------------------------------------------------------
@@ -228,6 +251,33 @@ class FaultPlanner:
             delay=delay,
             tear_checkpoint=tear,
         )
+
+    def _kill_primary(self, rng: SeededRng) -> FaultEvent:
+        """Crash a replicated primary at an absolute time.
+
+        Unlike ``crash``, the kill is not tied to a protocol point: the
+        primary dies whole-process at ``time`` (losing volatile state)
+        and restarts ``delay`` later.  In-flight invocations against it
+        fail over to the most-caught-up replica.
+        """
+        peer = rng.choice(self.providers)
+        time = round(rng.uniform(0.05, self.horizon), 4)
+        delay = round(rng.uniform(0.2, 1.0), 4)
+        return FaultEvent(kind="kill_primary", peer=peer, time=time, delay=delay)
+
+    def _lag_replica(self, rng: SeededRng) -> FaultEvent:
+        """Suspend one replica's WAL apply loop for ``delay`` virtual time.
+
+        ``peer`` names the *primary* whose replica set is lagged; the
+        runner resolves it to a concrete replica holder at apply time
+        (the planner does not know the placement map).  A lagged replica
+        buffers shipped frames without applying or acking them — the
+        shape that makes failover pick the *other*, caught-up replica.
+        """
+        peer = rng.choice(self.providers)
+        time = round(rng.uniform(0.05, self.horizon), 4)
+        delay = round(rng.uniform(0.5, 2.0), 4)
+        return FaultEvent(kind="lag_replica", peer=peer, time=time, delay=delay)
 
     def _message_chaos(self, rng: SeededRng) -> FaultEvent:
         return FaultEvent(

@@ -87,6 +87,13 @@ class ChaosConfig:
     checkpoint_every: int = 0
     #: WAL group-commit batch size; 1 = flush every frame (PR 5 path).
     wal_batch: int = 1
+    #: Replicas per provider document/service (0 = no replication).
+    #: > 0 turns on WAL shipping, deterministic failover and the
+    #: ``kill_primary``/``lag_replica`` fault kinds.
+    replicas: int = 0
+    #: Committed entries buffered per ship channel before one
+    #: :class:`~repro.p2p.messages.WalShipMessage` goes on the wire.
+    ship_batch: int = 1
 
     def __post_init__(self) -> None:
         if self.mutate and self.mutate not in MUTATIONS:
@@ -114,6 +121,18 @@ class ChaosConfig:
             raise ValueError(
                 "checkpoint_every must be >= 0 and wal_batch >= 1"
             )
+        if self.replicas < 0 or self.ship_batch < 1:
+            raise ValueError("replicas must be >= 0 and ship_batch >= 1")
+        if self.replicas >= self.providers and self.replicas > 0:
+            raise ValueError(
+                f"replicas={self.replicas} needs at least "
+                f"{self.replicas + 1} providers: each replica is placed "
+                "on a distinct provider other than the primary"
+            )
+        if self.ship_batch > 1 and self.replicas == 0:
+            raise ValueError(
+                "ship_batch tunes WAL shipping; it requires replicas > 0"
+            )
 
     @property
     def horizon(self) -> float:
@@ -129,6 +148,11 @@ class ChaosConfig:
             out.pop("checkpoint_every")
         if self.wal_batch == 1:
             out.pop("wal_batch")
+        # Same rule for the PR 8 replication knobs.
+        if self.replicas == 0:
+            out.pop("replicas")
+        if self.ship_batch == 1:
+            out.pop("ship_batch")
         return out
 
     @classmethod
@@ -248,7 +272,43 @@ def build_chaos_cluster(config: ChaosConfig):
         for peer_id in origins + providers:
             for i in range(1, config.providers + 1):
                 cluster.peer(peer_id).set_fault_policy(f"S{i}", policy)
+    if config.replicas > 0:
+        _place_replicas(cluster, config, providers)
     return cluster, origins, providers
+
+
+def _place_replicas(cluster, config: ChaosConfig, providers: Sequence[str]) -> None:
+    """Seeded replica placement: each provider's document *and* service
+    get ``config.replicas`` copies on distinct other providers, drawn
+    from the dedicated ``"placement"`` RNG stream (placement depends on
+    the seed and the knobs only — never on dict order).
+
+    Every peer also gets a ``PeerDisconnected`` retry policy for every
+    service: forward recovery must engage (and consult the failover
+    selector) when a replicated provider dies mid-invocation —
+    without a handler the §3.2 default is backward recovery and the
+    replicas would never be asked.
+    """
+    from repro.txn.recovery import DISCONNECT_FAULT
+
+    cluster.replication.ship_batch = config.ship_batch
+    rng = SeededRng(stable_seed(config.seed, "placement"))
+    for provider in providers:
+        index = int(provider[2:])
+        pool = [p for p in providers if p != provider]
+        for _ in range(config.replicas):
+            choice = rng.choice(pool)
+            pool.remove(choice)
+            cluster.replication.replicate_document(f"D{index}", choice)
+            cluster.replication.replicate_service(f"S{index}", choice)
+    policies = [FaultPolicy(fault_names={DISCONNECT_FAULT}, retry_times=2)]
+    if config.handlers:
+        # Runs after (and replaces) the handlers block's assignment, so
+        # the chaos-fault retry policy must be carried along.
+        policies.insert(0, FaultPolicy(fault_names={CHAOS_FAULT}, retry_times=2))
+    for peer in cluster.peers.values():
+        for i in range(1, config.providers + 1):
+            peer.set_fault_policy(f"S{i}", policies)
 
 
 # ---------------------------------------------------------------------------
@@ -321,10 +381,40 @@ def apply_plan(cluster, config: ChaosConfig, plan: FaultPlan) -> None:
                 restart_delay=event.delay,
                 tear_checkpoint=event.tear_checkpoint,
             )
+        elif event.kind == "kill_primary":
+            cluster.injector.kill_at(
+                event.peer, event.time, restart_delay=event.delay
+            )
+        elif event.kind == "lag_replica":
+            _schedule_lag(cluster, event)
         else:
             raise ValueError(f"unknown fault event kind {event.kind!r}")
     if message_event is not None:
         _install_message_chaos(cluster, config, message_event)
+
+
+def _schedule_lag(cluster, event: FaultEvent) -> None:
+    """Script one ``lag_replica`` event.
+
+    The planned ``peer`` names the *primary* (the planner does not know
+    the placement map); the concrete lagged replica is resolved when the
+    event fires — the smallest-id live non-primary holder of the
+    primary's document at that moment, which is deterministic because
+    holder lists and virtual time are.
+    """
+    document = f"D{event.peer[2:]}"
+
+    def fire() -> None:
+        replication = cluster.replication
+        holders = replication.holders(document)
+        candidates = sorted(
+            h for h in holders[1:] if cluster.network.is_alive(h)
+        )
+        if not candidates:
+            return
+        replication.lag_replica(candidates[0], duration=event.delay)
+
+    cluster.network.events.schedule_at(event.time, fire)
 
 
 def _install_message_chaos(cluster, config: ChaosConfig, event: FaultEvent) -> None:
@@ -431,6 +521,7 @@ def run_chaos(config: ChaosConfig, plan: Optional[FaultPlan] = None) -> ChaosRun
                 horizon=config.horizon,
                 crash_rate=config.crash_rate,
                 checkpoints=config.checkpoint_every > 0,
+                replicas=config.replicas,
             ).plan()
         apply_plan(cluster, config, plan)
 
@@ -517,6 +608,11 @@ def _settle_and_check(
         for peer in cluster.peers.values():
             if peer.resolve_in_doubt(txn_id, committed) != "noop":
                 cluster.metrics.incr("chaos_settled_shares")
+    # (3b) converge the replica sets: lift lag, flush ship buffers,
+    # apply in-flight frames, resync crash-restarted holders.  After
+    # this every alive holder must equal its primary (replica_diverged).
+    if config.replicas > 0:
+        cluster.replication.settle(drain=cluster.run_all)
     # (4) hygiene: release per-txn protocol state everywhere.
     skipped_stale = config.mutate != "stale_chain"
     for peer in cluster.peers.values():
@@ -553,6 +649,16 @@ def describe_plan(plan: FaultPlan) -> List[str]:
             lines.append(
                 f"crash {event.peer} during {event.method} [{event.point}] "
                 f"restart after {event.delay}"
+            )
+        elif event.kind == "kill_primary":
+            lines.append(
+                f"kill_primary {event.peer} @t={event.time} "
+                f"restart after {event.delay}"
+            )
+        elif event.kind == "lag_replica":
+            lines.append(
+                f"lag_replica of {event.peer} @t={event.time} "
+                f"for {event.delay}"
             )
         else:
             lines.append(

@@ -180,6 +180,40 @@ class PeerChain:
     def peers(self) -> List[str]:
         return [n.peer_id for n in self.root.iter()]
 
+    # -- failover rewrite (§3.3 around a dead primary) ----------------------
+
+    def substitute(
+        self, old_peer: str, new_peer: str, super_peer: bool = False
+    ) -> bool:
+        """Rewrite the chain around a dead peer: *new_peer* takes over
+        *old_peer*'s position (parent edge and all child edges), so the
+        tree keeps routing for every descendant of the replaced node —
+        including interior §3.3 nodes, not just leaves.
+
+        If *new_peer* already participates in the transaction, the dead
+        node is spliced out instead and its children are grafted under
+        the existing node.  Returns False when *old_peer* is not in the
+        chain (nothing to rewrite).
+        """
+        node = self.find(old_peer)
+        if node is None or old_peer == new_peer:
+            return False
+        existing = self.find(new_peer)
+        if existing is None:
+            node.peer_id = new_peer
+            node.super_peer = super_peer
+            return True
+        if node.parent is None:
+            # The root (origin) cannot be spliced out; leave it alone.
+            return False
+        for child in node.children:
+            child.parent = existing
+            existing.children.append(child)
+        node.children = []
+        node.parent.children.remove(node)
+        node.parent = None
+        return True
+
     # -- serialization (piggybacked on invocations) -----------------------------
 
     def to_text(self) -> str:

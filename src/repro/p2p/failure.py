@@ -126,6 +126,32 @@ class FailureInjector:
             time, lambda: self.network.disconnect(peer_id)
         )
 
+    def kill_at(
+        self, peer_id: str, time: float, restart_delay: float = 0.5
+    ) -> None:
+        """Crash *peer_id* at an absolute virtual time, restart it later.
+
+        The timed analogue of :meth:`crash_peer_during` — the chaos
+        planner's ``kill_primary`` fault uses it to take a replicated
+        primary down regardless of what it is executing, forcing any
+        in-flight invocation onto its replicas.  A peer already dead at
+        the fire time is left alone; the restart (``rejoin`` with
+        ``mode="in_doubt"``) is scheduled unconditionally so no killed
+        peer stays down past settlement.
+        """
+
+        def fire() -> None:
+            peer = self.network.get_peer(peer_id)
+            if peer.disconnected:
+                return
+            peer.crash()
+            self.network.events.schedule(
+                restart_delay,
+                lambda: peer.rejoin(mode="in_doubt") if peer.disconnected else None,
+            )
+
+        self.network.events.schedule_at(time, fire)
+
     def clear(self) -> None:
         """Drop every un-fired fault/disconnect/crash script."""
         self._faults.clear()

@@ -132,6 +132,37 @@ class CompensationRequest:
 
 
 @dataclass
+class WalShipMessage:
+    """Primary → replica: a batch of committed, shipped WAL entries.
+
+    Each element of ``entries_xml`` is one ``entry_to_xml``
+    frame — the same per-entry codec the on-disk WAL uses, so the wire
+    format and the disk format cannot drift.  ``first_seq``/``last_seq``
+    bound the batch in the source peer's seq space."""
+
+    KIND: ClassVar[str] = "wal_ship"
+
+    from_peer: str
+    to_peer: str
+    entries_xml: List[str] = field(default_factory=list)
+    first_seq: int = 0
+    last_seq: int = 0
+
+
+@dataclass
+class WalShipAck:
+    """Replica → primary: the acked high-water mark of one ship channel.
+
+    "I have applied your entries up to ``acked_seq``"."""
+
+    KIND: ClassVar[str] = "wal_ship_ack"
+
+    from_peer: str
+    to_peer: str
+    acked_seq: int = 0
+
+
+@dataclass
 class PingMessage:
     """Keep-alive probe; the reply is implicit in the network call."""
 

@@ -36,6 +36,8 @@ from repro.p2p.messages import (
     InvokeRequest,
     InvokeResult,
     RedirectedResult,
+    WalShipAck,
+    WalShipMessage,
 )
 from repro.p2p.network import SimNetwork
 from repro.query.ast import UpdateAction
@@ -144,6 +146,14 @@ class AXMLPeer:
         self.reusable_results: Dict[Tuple[str, str], List[str]] = {}
         #: Reuse fragments that arrived piggybacked on an InvokeRequest.
         self._incoming_reuse: Dict[Tuple[str, str], List[str]] = {}
+        #: Completed executions of *replicated* services, for
+        #: exactly-once re-delegation: (txn_id, method, params) →
+        #: InvokeResult.  A parent that failed over re-runs its
+        #: delegations; a child that already did the work returns its
+        #: previous result instead of applying the share twice.
+        self._completed_invokes: Dict[
+            Tuple[str, str, Tuple[Tuple[str, str], ...]], object
+        ] = {}
         #: Transactions this peer learned are doomed (disconnection
         #: notices); pending continuous work for them is wasted effort.
         self.known_doomed: Set[str] = set()
@@ -425,7 +435,14 @@ class AXMLPeer:
                     status = "recovered"
                     return decision.fragments
                 edge.failed = True
-                self._backward_recover(txn_id, exclude_peer=target_peer)
+                # The failed peer already aborted its whole share
+                # (exclude it, §3.2) — unless partial recovery kept an
+                # enclosing co-located share alive there, in which case
+                # only this Abort notice can settle it.
+                exclude = (
+                    "" if getattr(exc, "share_retained", False) else target_peer
+                )
+                self._backward_recover(txn_id, exclude_peer=exclude)
                 raise
             edge.completed = True
             for provider, plan_xml in result.compensations:
@@ -464,7 +481,7 @@ class AXMLPeer:
                 f"peer {self.peer_id!r} is not the origin of {txn_id!r}"
             )
         try:
-            self.manager.commit_local(txn_id)
+            self._commit_local_and_ship(txn_id)
         except ValidationConflict:
             chain = self.chains.get(txn_id)
             for peer_id in (
@@ -490,6 +507,30 @@ class AXMLPeer:
         self.network.metrics.record_txn_outcome(txn_id, "committed")
         self._end_txn_span(txn_id, "committed")
 
+    def _commit_local_and_ship(self, txn_id: str) -> None:
+        """Commit the local share, then stream its committed WAL entries
+        to every replica holder (WAL shipping; docs/REPLICATION.md).
+
+        Entries are captured *before* ``commit_local`` because its
+        truncate tombstone drops them from the in-memory log — and the
+        tombstone's flush barrier also makes them durable on disk first,
+        so everything shipped already satisfies the write-ahead rule.
+        Nothing ships when the commit raises (OCC conflict) or when the
+        share was already settled.
+        """
+        replication = getattr(self.network, "replication", None)
+        entries = ()
+        if (
+            replication is not None
+            and replication.has_replicas()
+            and self.manager.has_context(txn_id)
+            and not self.manager.contexts[txn_id].is_finished
+        ):
+            entries = self.manager.log.entries_for(txn_id)
+        self.manager.commit_local(txn_id)
+        if entries:
+            replication.on_committed(self.peer_id, txn_id, entries)
+
     def abort(self, txn_id: str) -> bool:
         """Origin-initiated abort; returns True if compensation fully ran.
 
@@ -503,6 +544,7 @@ class AXMLPeer:
         complete = True
         if self.peer_independent and context.received_compensations:
             complete = self._apply_peer_independent(context)
+            self._drop_completed_invokes(txn_id)
             self.manager.abort_local(txn_id)
         else:
             self._backward_recover(txn_id)
@@ -561,6 +603,35 @@ class AXMLPeer:
             injector.check_disconnect(self.peer_id, request.method_name, "before_execute")
             if self.disconnected:
                 raise PeerDisconnected(self.peer_id)
+        dedup_key = (
+            request.txn_id,
+            request.method_name,
+            tuple(sorted(request.params.items())),
+        )
+        cached = self._completed_invokes.get(dedup_key)
+        if cached is not None:
+            # Exactly-once across failover: a parent that failed over
+            # re-runs its delegations, and this peer already completed
+            # this exact invocation for the same transaction.  Return
+            # the previous result — the §3.3(b) "reuse, don't redo"
+            # idea applied callee-side.
+            self.network.metrics.incr("invocations_deduped")
+            return cached
+        # Snapshot what this peer already holds for the transaction: a
+        # rerouted or failed-over service can land on a peer that also
+        # executes one of its (transitive) delegates, and a fault in
+        # this frame must then only undo THIS frame's work, not the
+        # enclosing share's (see _partial_backward_recover).
+        prior_seq = 0
+        prior_edges = 0
+        if self.manager.has_context(request.txn_id):
+            enclosing = self.manager.contexts[request.txn_id]
+            if not enclosing.is_finished:
+                prior_edges = len(enclosing.invocations)
+                prior_seq = max(
+                    (e.seq for e in self.manager.log.entries_for(request.txn_id)),
+                    default=0,
+                )
         transaction = Transaction(request.txn_id, request.origin_peer)
         context = self.manager.begin(
             transaction, parent_peer=request.sender, service_name=request.method_name
@@ -618,7 +689,7 @@ class AXMLPeer:
             # Share hand-off: the entries behind these fragments must be
             # durable before the invoker acts on the result.
             self._wal_barrier()
-            return InvokeResult(
+            result = InvokeResult(
                 fragments=response.fragments,
                 provider_peer=self.peer_id,
                 compensations=compensations,
@@ -627,13 +698,33 @@ class AXMLPeer:
                     my_chain.to_text() if (my_chain and self.chaining) else ""
                 ),
             )
-        except ServiceFault:
+            replication = getattr(self.network, "replication", None)
+            if replication is not None and replication.is_replicated_method(
+                request.method_name
+            ):
+                # Only replicated services can be legitimately re-invoked
+                # (a failed-over parent re-running its delegations); for
+                # them, remember the outcome for exactly-once dedup.
+                self._completed_invokes[dedup_key] = result
+            return result
+        except ServiceFault as fault:
             # §3.2 steps 1-2, callee side: abort my share and tell the
             # peers whose services I invoked; then let the fault travel
             # back to my invoker.
             status = "fault"
             if not self.disconnected:
-                self._backward_recover(request.txn_id, exclude_peer=request.sender)
+                if prior_seq > 0 or prior_edges > 0:
+                    # This peer also holds an *enclosing* active share of
+                    # the same transaction (co-located via reroute or
+                    # failover): only this frame's work may be undone.
+                    # The flag tells the invoker this peer still has a
+                    # live share to settle if the fault goes unhandled.
+                    self._partial_backward_recover(request, prior_seq, prior_edges)
+                    fault.share_retained = True
+                else:
+                    self._backward_recover(
+                        request.txn_id, exclude_peer=request.sender
+                    )
             raise
         except PeerDisconnected:
             # Either I died mid-execution (do nothing — dead peers take
@@ -727,7 +818,17 @@ class AXMLPeer:
                 )
             return result.fragments
 
-        return attempt_forward_recovery(
+        # The replication layer offers "the most-caught-up live replica"
+        # as a per-retry failover target — only for services it actually
+        # replicated, and only when the policy names no explicit
+        # alternative (an explicit ``axml:sc`` replica always wins).
+        select_alternative = None
+        replication = getattr(self.network, "replication", None)
+        if replication is not None and not policy.alternative_peer:
+            select_alternative = replication.failover_selector(
+                target_peer, method_name
+            )
+        decision = attempt_forward_recovery(
             policy,
             target_peer,
             method_name,
@@ -735,7 +836,62 @@ class AXMLPeer:
             reinvoke=reinvoke,
             wait=self.network.clock.advance,
             original_target_alive=lambda: self.network.is_alive(target_peer),
+            select_alternative=select_alternative,
         )
+        if (
+            decision.handled
+            and decision.alternative_used
+            and select_alternative is not None
+            and not policy.alternative_peer
+        ):
+            # §3.3 rewrite: route the transaction's chain around the dead
+            # primary so commit/abort traffic reaches the replica that now
+            # owns the share — including when the dead peer was an
+            # interior node (its subtree re-parents onto the replica).
+            chain = self.chains.get(txn_id)
+            if chain is not None and self.chaining:
+                if chain.substitute(
+                    target_peer,
+                    decision.alternative_used,
+                    self._peer_is_super(decision.alternative_used),
+                ):
+                    self.network.metrics.incr("chains_rewritten")
+        return decision
+
+    def _partial_backward_recover(
+        self, request: InvokeRequest, prior_seq: int, prior_edges: int
+    ) -> None:
+        """Backward-recover only the failed invocation's share.
+
+        A replica reroute or failover can execute a service on a peer
+        that also runs one of its delegates under the same transaction.
+        The usual callee-side recovery (``_backward_recover``) aborts
+        the peer's *whole* local share — which here would silently
+        destroy the enclosing invocation's completed work while that
+        invocation carries on and commits.  Instead: compensate only the
+        log tail this frame appended (``seq > prior_seq``) and tell only
+        the children this frame invoked to abort theirs.
+        """
+        txn_id = request.txn_id
+        if not self.manager.has_context(txn_id):
+            return
+        context = self.manager.contexts[txn_id]
+        if context.is_finished:
+            return
+        executed = self.manager.abort_invocation_tail(txn_id, prior_seq)
+        self.network.metrics.record_value("compensation_depth", executed)
+        self.network.metrics.incr("partial_aborts")
+        frame_edges = context.invocations[prior_edges:]
+        del context.invocations[prior_edges:]
+        for peer_id in {
+            e.target_peer for e in frame_edges
+            if e.target_peer not in (request.sender, self.peer_id)
+        }:
+            self.network.notify(
+                self.peer_id,
+                peer_id,
+                AbortMessage(txn_id, self.peer_id, request.method_name),
+            )
 
     def _backward_recover(self, txn_id: str, exclude_peer: str = "") -> None:
         """Abort my share and notify the peers whose services I invoked.
@@ -751,6 +907,7 @@ class AXMLPeer:
         discarded = sum(1 for e in context.invocations if e.completed)
         if discarded:
             self.network.metrics.record_discarded_invocation(discarded)
+        self._drop_completed_invokes(txn_id)
         executed = self.manager.abort_local(txn_id)
         self.network.metrics.record_value("compensation_depth", executed)
         self.network.metrics.incr("local_aborts")
@@ -850,8 +1007,19 @@ class AXMLPeer:
             context = self.manager.contexts[txn_id]
             if any(e.completed for e in context.invocations) or context.log_seqs:
                 self.network.metrics.record_discarded_invocation()
+            self._drop_completed_invokes(txn_id)
             self.manager.abort_local(txn_id)
         self._cancel_pending_work(txn_id)
+
+    def _drop_completed_invokes(self, txn_id: str) -> None:
+        """Invalidate the exactly-once cache for an aborted share.
+
+        Once the share is compensated, a cached :class:`InvokeResult`
+        would make a later legitimate re-invocation return stale results
+        without redoing the (now undone) work.
+        """
+        for key in [k for k in self._completed_invokes if k[0] == txn_id]:
+            del self._completed_invokes[key]
 
     def check_child_liveness(self, txn_id: str) -> List[str]:
         """§3.3(c): ping my chain children; handle any detected death.
@@ -922,7 +1090,7 @@ class AXMLPeer:
             self._on_abort_message(message)
         elif isinstance(message, CommitMessage):
             if self.manager.has_context(message.txn_id):
-                self.manager.commit_local(message.txn_id)
+                self._commit_local_and_ship(message.txn_id)
             self._cancel_pending_work(message.txn_id)
         elif isinstance(message, CompensationRequest):
             # §3.2: execute without knowing it is compensation.
@@ -939,6 +1107,14 @@ class AXMLPeer:
                 for provider, plan_xml in message.compensations:
                     context.record_compensation_definition(provider, plan_xml)
             self.network.metrics.incr("redirected_results_received")
+        elif isinstance(message, WalShipMessage):
+            replication = getattr(self.network, "replication", None)
+            if replication is not None:
+                replication.on_ship(self.peer_id, message)
+        elif isinstance(message, WalShipAck):
+            replication = getattr(self.network, "replication", None)
+            if replication is not None:
+                replication.on_ack(self.peer_id, message)
 
     def _on_abort_message(self, message: AbortMessage) -> None:
         """§3.2 step 2: a peer whose invoker aborted compensates its
@@ -1034,6 +1210,7 @@ class AXMLPeer:
         self.chains.clear()
         self.reusable_results.clear()
         self._incoming_reuse.clear()
+        self._completed_invokes.clear()
         self.known_doomed.clear()
         for txn_id in list(self._pending_work):
             self._cancel_pending_work(txn_id)
@@ -1165,6 +1342,11 @@ class AXMLPeer:
                 self.manager.abort_local(txn_id)
                 compensated += 1
         self.network.metrics.incr("peer_rejoins")
+        replication = getattr(self.network, "replication", None)
+        if replication is not None:
+            # Replica copies on this peer may have missed ships while it
+            # was gone; schedule them for a settlement resync.
+            replication.on_peer_rejoined(self.peer_id)
         return compensated
 
     # ------------------------------------------------------------------
@@ -1188,8 +1370,9 @@ class AXMLPeer:
         if context.is_finished:
             return "noop"
         if committed and context.state is TransactionState.ACTIVE:
-            self.manager.commit_local(txn_id)
+            self._commit_local_and_ship(txn_id)
             return "committed"
+        self._drop_completed_invokes(txn_id)
         self.manager.abort_local(txn_id)
         return "aborted"
 
@@ -1207,6 +1390,7 @@ class AXMLPeer:
             del self.reusable_results[key]
         for key in [k for k in self._incoming_reuse if k[0] == txn_id]:
             del self._incoming_reuse[key]
+        self._drop_completed_invokes(txn_id)
         self._cancel_pending_work(txn_id)
 
     # ------------------------------------------------------------------

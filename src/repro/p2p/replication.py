@@ -11,31 +11,106 @@ in two places:
   atomicity guaranteeable for non-super peers (see
   :mod:`repro.txn.spheres`).
 
-The manager keeps replicas *content-synchronized at replication time*;
-continuous synchronization is out of the paper's scope (its replication
-citation [2] owns that problem), so experiments re-replicate when they
-need fresh replicas.
+Originally the manager kept replicas *content-synchronized at
+replication time* only, which made retry-on-replica succeed strictly by
+construction.  It is now a real subsystem (see ``docs/REPLICATION.md``):
+
+* **WAL shipping** — when a holder commits a transaction share, the
+  committed :class:`~repro.txn.wal.LogEntry` frames touching replicated
+  documents are streamed to every other holder over the simulated
+  network (:class:`~repro.p2p.messages.WalShipMessage`, batched by
+  ``ship_batch``), re-using the exact per-entry XML codec the on-disk
+  WAL uses.  Replicas apply the frames to their copies and return
+  acked high-water marks (:class:`~repro.p2p.messages.WalShipAck`).
+* **Deterministic failover** — when a primary dies mid-transaction,
+  :func:`repro.txn.recovery.attempt_forward_recovery` asks
+  :meth:`failover_selector` for a replacement: the most-caught-up live
+  replica, ties broken by peer id (never dict-iteration order).  The
+  chosen replica first replays its shipped-but-unapplied tail, then
+  becomes the new primary for the dead peer's replicated documents.
+* **Settlement** — :meth:`settle` flushes every pending ship buffer,
+  lifts lag, applies remaining inboxes, and re-synchronizes stale
+  holders (crash-restarted peers) by full content copy from the current
+  primary, so the chaos oracle's ``replica_diverged`` predicate can
+  demand byte-equal replica content after every run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.axml.document import AXMLDocument
 from repro.errors import P2PError
+from repro.p2p.messages import WalShipAck, WalShipMessage
 from repro.p2p.network import SimNetwork
+from repro.query.parser import parse_action
+from repro.query.update import apply_action
+from repro.txn.wal import LogEntry, entry_bytes, entry_from_xml, entry_to_xml
 from repro.xmlstore.serializer import rebind_ids, serialize
 
 
-class ReplicationManager:
-    """Tracks which peers hold which documents/services."""
+@dataclass
+class _ShipChannel:
+    """Shipping state of one (source holder → replica holder) pair.
 
-    def __init__(self, network: SimNetwork):
+    Seq numbers live in the *source* peer's WAL seq space.  ``pending``
+    holds committed entries not yet put on the wire (the ship batch);
+    ``inbox`` holds delivered frames the replica has not applied yet
+    (it is lagging, or delivery raced settlement).
+    """
+
+    source: str
+    replica: str
+    pending: List[LogEntry] = field(default_factory=list)
+    inbox: List[LogEntry] = field(default_factory=list)
+    #: Highest seq put on the wire / acked by the replica / applied.
+    shipped_seq: int = 0
+    acked_seq: int = 0
+    applied_seq: int = 0
+    #: Seqs shipped but not yet acked (the in-flight window).
+    unacked: List[int] = field(default_factory=list)
+
+    @property
+    def received_seq(self) -> int:
+        """How far the replica *could* catch up by replaying its inbox."""
+        inbox_max = max((e.seq for e in self.inbox), default=0)
+        return max(self.applied_seq, inbox_max)
+
+
+class ReplicationManager:
+    """Replica placement, WAL shipping, and deterministic failover.
+
+    Tracks which peers hold which documents/services, ships committed
+    WAL entries between holders, and selects failover targets
+    (``docs/REPLICATION.md``)."""
+
+    def __init__(self, network: SimNetwork, ship_batch: int = 1):
         self.network = network
-        #: document name → peer ids holding a replica (in creation order).
+        if ship_batch < 1:
+            raise P2PError(f"ship_batch must be >= 1, got {ship_batch}")
+        #: Committed entries per channel buffered before one ship message.
+        self.ship_batch = ship_batch
+        #: document name → peer ids holding a replica (primary first).
         self._document_holders: Dict[str, List[str]] = {}
         #: method name → peer ids hosting the service.
         self._service_holders: Dict[str, List[str]] = {}
+        #: Methods that were explicitly *replicated* (not merely hosted
+        #: on several peers) — the only ones failover may retarget.
+        self._replicated_methods: Set[str] = set()
+        #: (source peer, replica peer) → shipping channel.
+        self._channels: Dict[Tuple[str, str], _ShipChannel] = {}
+        #: Replicas currently refusing to apply/ack (the ``lag_replica``
+        #: chaos fault); frames accumulate in their inboxes.
+        self._lagged: Set[str] = set()
+        #: (document, holder) pairs whose replica content must be
+        #: re-synchronized from the primary at settlement (crash
+        #: restarts, failed ship deliveries).
+        self._stale: Set[Tuple[str, str]] = set()
+        #: Logical operations already present on a peer — the dedup set
+        #: that keeps a failed-over share from being applied twice when
+        #: both the old and the new primary eventually ship it.
+        self._applied_keys: Set[Tuple[str, str, str, str]] = set()
         # Make the manager discoverable by peers (peer-independent
         # compensation fallback looks it up on the network).
         network.replication = self
@@ -85,6 +160,20 @@ class ReplicationManager:
                 return peer_id
         return None
 
+    def replicated_documents(self) -> List[str]:
+        """Names of documents with more than one holder, sorted."""
+        return sorted(
+            name for name, holders in self._document_holders.items()
+            if len(holders) > 1
+        )
+
+    def has_replicas(self) -> bool:
+        """Whether anything is actually replicated (the commit path's
+        fast guard: without replicas, shipping is a no-op)."""
+        return bool(self._replicated_methods) or any(
+            len(holders) > 1 for holders in self._document_holders.values()
+        )
+
     # -- services -------------------------------------------------------------
 
     def register_service(self, method_name: str, peer_id: str) -> None:
@@ -102,7 +191,13 @@ class ReplicationManager:
         service = source_peer.registry.lookup(method_name)
         target_peer.host_service(service)
         self.register_service(method_name, to_peer_id)
+        self._replicated_methods.add(method_name)
         self.network.metrics.incr("services_replicated")
+
+    def is_replicated_method(self, method_name: str) -> bool:
+        """Whether the service was explicitly replicated (failover- and
+        dedup-eligible); merely hosting it on several peers is not."""
+        return method_name in self._replicated_methods
 
     def service_holders(self, method_name: str) -> List[str]:
         return list(self._service_holders.get(method_name, []))
@@ -112,3 +207,371 @@ class ReplicationManager:
             if self.network.is_alive(peer_id):
                 return peer_id
         return None
+
+    # -- WAL shipping: primary side ----------------------------------------
+
+    def _channel(self, source: str, replica: str) -> _ShipChannel:
+        key = (source, replica)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = _ShipChannel(source=source, replica=replica)
+            self._channels[key] = channel
+        return channel
+
+    @staticmethod
+    def _entry_key(peer_id: str, entry: LogEntry) -> Tuple[str, str, str, str]:
+        return (peer_id, entry.txn_id, entry.document_name, entry.action_xml)
+
+    def on_committed(
+        self, source_peer: str, txn_id: str, entries: Sequence[LogEntry]
+    ) -> None:
+        """A holder committed its share of *txn_id*: route the committed
+        entries that touch replicated documents to every other holder.
+
+        Called by the peer **after** ``commit_local`` succeeded (whose
+        truncate tombstone is itself a WAL flush barrier, so every
+        shipped entry is already durable at the source — the write-ahead
+        rule extends across the wire).
+        """
+        # Write-ahead across the wire: nothing ships unless it is durable
+        # at the source.  Normally the commit tombstone's flush barrier
+        # already guarantees this; the explicit flush is the safety net
+        # for callers that bypass the truncate path.
+        wal = getattr(self.network.get_peer(source_peer), "wal", None)
+        if wal is not None and entries:
+            if max(e.seq for e in entries) > wal.last_durable_seq:
+                wal.flush()
+        shipped_any = False
+        for entry in entries:
+            holders = self._document_holders.get(entry.document_name, [])
+            if len(holders) < 2 or source_peer not in holders:
+                continue
+            # The committing peer's own copy already shows this logical
+            # operation; remember that so a later failover ship of the
+            # same operation from another holder is not applied twice.
+            self._applied_keys.add(self._entry_key(source_peer, entry))
+            for holder in holders:
+                if holder == source_peer:
+                    continue
+                channel = self._channel(source_peer, holder)
+                channel.pending.append(entry)
+                shipped_any = True
+        if not shipped_any:
+            return
+        for (source, _replica), channel in sorted(self._channels.items()):
+            if source == source_peer and len(channel.pending) >= self.ship_batch:
+                self._ship(channel)
+
+    def _ship(self, channel: _ShipChannel) -> None:
+        """Put one channel's pending batch on the wire."""
+        if not channel.pending:
+            return
+        batch = list(channel.pending)
+        channel.pending.clear()
+        message = WalShipMessage(
+            from_peer=channel.source,
+            to_peer=channel.replica,
+            entries_xml=[entry_to_xml(e) for e in batch],
+            first_seq=batch[0].seq,
+            last_seq=batch[-1].seq,
+        )
+        metrics = self.network.metrics
+        metrics.incr("ship_frames", len(batch))
+        metrics.incr("ship_bytes", sum(entry_bytes(e) for e in batch))
+        # Record the in-flight window *before* the send: delivery is
+        # synchronous in the simulator, so the replica's ack can arrive
+        # inside the notify call — seqs added afterwards would never be
+        # pruned and the window would read as permanently lagged.
+        channel.shipped_seq = max(channel.shipped_seq, batch[-1].seq)
+        shipped_seqs = [e.seq for e in batch]
+        channel.unacked.extend(shipped_seqs)
+        metrics.record_value("ship_lag", float(len(channel.unacked)))
+        delivered = self.network.notify(channel.source, channel.replica, message)
+        if not delivered:
+            # Receiver (or sender) dead: re-queue the batch in order so
+            # the next ship attempt (at the latest, settlement's flush
+            # after every peer reconnected) retries it.  Dropping the
+            # frames here would silently under-replicate a holder that
+            # may later be *promoted* — resync can't repair the primary.
+            channel.pending[:0] = batch
+            channel.unacked = [
+                s for s in channel.unacked if s not in shipped_seqs
+            ]
+            metrics.incr("ship_failures")
+            return
+
+    # -- WAL shipping: replica side ----------------------------------------
+
+    def on_ship(self, replica_peer: str, message: WalShipMessage) -> None:
+        """A replica received a batch of shipped frames."""
+        channel = self._channel(message.from_peer, replica_peer)
+        channel.inbox.extend(entry_from_xml(x) for x in message.entries_xml)
+        if replica_peer in self._lagged:
+            return  # frames accumulate; no apply, no ack
+        self._apply_inbox(channel)
+        self._send_ack(channel)
+
+    def _apply_inbox(self, channel: _ShipChannel) -> None:
+        """Apply a channel's delivered-but-unapplied frames in seq order.
+
+        Frames for a (txn, document) the receiver itself holds live log
+        entries for are *deferred*, not dropped: the receiver's own share
+        is a different operation of the same transaction (shipping it now
+        would race the receiver's own commit/abort decision), so the
+        frame stays in the inbox until that share resolves — at the
+        latest, settlement's apply pass after every in-doubt share was
+        decided.  Dropping it instead would silently lose a sibling
+        operation's effect on this replica.
+        """
+        if not channel.inbox:
+            return
+        peer = self.network.get_peer(channel.replica)
+        metrics = self.network.metrics
+        deferred: List[LogEntry] = []
+        for entry in sorted(channel.inbox, key=lambda e: e.seq):
+            key = self._entry_key(channel.replica, entry)
+            if key in self._applied_keys:
+                # Already present: this peer executed the same logical
+                # operation itself (it was the failover target) or got it
+                # from another holder.
+                channel.applied_seq = max(channel.applied_seq, entry.seq)
+                metrics.incr("ship_dedup_skips")
+                continue
+            if self._has_own_share(peer, entry):
+                # The receiving holder has its own in-doubt log entries
+                # for this (txn, document): don't pre-apply — keep the
+                # frame for after the receiver's share resolves.
+                deferred.append(entry)
+                metrics.incr("ship_deferred_entries")
+                continue
+            channel.applied_seq = max(channel.applied_seq, entry.seq)
+            if entry.kind == "query":
+                # Replaying a query would re-materialize embedded service
+                # calls on the replica; queries don't carry replicable
+                # forward effects of their own.
+                metrics.incr("ship_skipped_queries")
+                continue
+            self._applied_keys.add(key)
+            document = peer.get_axml_document(entry.document_name)
+            apply_action(document.document, parse_action(entry.action_xml))
+            metrics.incr("replica_applied_entries")
+        channel.inbox[:] = deferred
+
+    @staticmethod
+    def _has_own_share(peer, entry: LogEntry) -> bool:
+        manager = getattr(peer, "manager", None)
+        if manager is None:
+            return False
+        return any(
+            own.document_name == entry.document_name
+            for own in manager.log.entries_for(entry.txn_id)
+        )
+
+    def _send_ack(self, channel: _ShipChannel) -> None:
+        ack = WalShipAck(
+            from_peer=channel.replica,
+            to_peer=channel.source,
+            acked_seq=channel.applied_seq,
+        )
+        self.network.notify(channel.replica, channel.source, ack)
+
+    def on_ack(self, source_peer: str, message: WalShipAck) -> None:
+        """The primary learned a replica's applied high-water mark."""
+        channel = self._channel(source_peer, message.from_peer)
+        channel.acked_seq = max(channel.acked_seq, message.acked_seq)
+        channel.unacked = [s for s in channel.unacked if s > channel.acked_seq]
+
+    # -- lag fault ---------------------------------------------------------
+
+    def lag_replica(self, peer_id: str, duration: float = 0.0) -> None:
+        """Chaos fault: *peer_id* stops applying/acking shipped frames
+        (they pile up in its inboxes) until *duration* virtual seconds
+        pass — or settlement, whichever comes first."""
+        self._lagged.add(peer_id)
+        self.network.metrics.incr("replica_lag_events")
+        if duration > 0:
+            self.network.events.schedule(
+                duration, lambda: self.unlag_replica(peer_id)
+            )
+
+    def unlag_replica(self, peer_id: str) -> None:
+        if peer_id not in self._lagged:
+            return
+        self._lagged.discard(peer_id)
+        for (_source, replica), channel in sorted(self._channels.items()):
+            if replica != peer_id or not channel.inbox:
+                continue
+            if not self.network.is_alive(peer_id):
+                continue
+            self._apply_inbox(channel)
+            self._send_ack(channel)
+
+    def is_lagged(self, peer_id: str) -> bool:
+        return peer_id in self._lagged
+
+    # -- failover ----------------------------------------------------------
+
+    def caught_up_seq(self, source_peer: str, replica_peer: str) -> int:
+        """How far *replica_peer* can catch up with *source_peer*'s WAL
+        (applied frames plus the replayable inbox tail)."""
+        channel = self._channels.get((source_peer, replica_peer))
+        if channel is None:
+            return 0
+        return channel.received_seq
+
+    def failover_selector(
+        self, dead_peer: str, method_name: str
+    ) -> Optional[Callable[[], Optional[str]]]:
+        """A per-retry selector for ``attempt_forward_recovery`` — or
+        ``None`` when the service was never replicated (a method merely
+        *hosted* on several peers is not failover-eligible), so legacy
+        (no-replication) paths are byte-identical."""
+        if method_name not in self._replicated_methods:
+            return None
+        others = [
+            p for p in self._service_holders.get(method_name, []) if p != dead_peer
+        ]
+        if not others:
+            return None
+        return lambda: self.select_failover(dead_peer, method_name)
+
+    def select_failover(self, dead_peer: str, method_name: str) -> Optional[str]:
+        """Pick and prepare the failover target for *method_name* after
+        *dead_peer* died: the most-caught-up live replica, ties broken by
+        peer id (deterministic — never dict-iteration order).  The chosen
+        replica replays its shipped tail first and is promoted to primary
+        for the dead peer's replicated documents."""
+        candidates = [
+            p
+            for p in self._service_holders.get(method_name, [])
+            if p != dead_peer and self.network.is_alive(p)
+        ]
+        if not candidates:
+            return None
+        ranked = sorted(
+            candidates, key=lambda p: (-self.caught_up_seq(dead_peer, p), p)
+        )
+        chosen = ranked[0]
+        metrics = self.network.metrics
+        chosen_seq = self.caught_up_seq(dead_peer, chosen)
+        for passed in ranked[1:]:
+            if self.caught_up_seq(dead_peer, passed) < chosen_seq:
+                # A naive pick could have landed on this less-caught-up
+                # replica and served stale state.
+                metrics.incr("stale_reads_prevented")
+        self._catch_up(dead_peer, chosen)
+        self._promote(dead_peer, chosen)
+        metrics.incr("failovers")
+        return chosen
+
+    def _catch_up(self, dead_peer: str, chosen: str) -> None:
+        """Replay the shipped-but-unapplied tail on the failover target."""
+        self._lagged.discard(chosen)
+        channel = self._channels.get((dead_peer, chosen))
+        if channel is None:
+            return
+        replayed = len(channel.inbox)
+        if replayed:
+            self._apply_inbox(channel)
+            self.network.metrics.incr("failover_replay_entries", replayed)
+
+    def _promote(self, dead_peer: str, chosen: str) -> None:
+        """Make *chosen* the primary for every replicated document whose
+        current primary is unavailable (and that *chosen* also holds).
+
+        "Unavailable" covers both *dead_peer* itself and a previously
+        promoted primary that has since died (the double-failover case:
+        invocations still name the original provider, so the selector is
+        asked about *dead_peer* while ``holders[0]`` is someone else)."""
+        for name in sorted(self._document_holders):
+            holders = self._document_holders[name]
+            if len(holders) < 2 or chosen not in holders:
+                continue
+            primary = holders[0]
+            if primary == dead_peer or not self.network.is_alive(primary):
+                holders.remove(chosen)
+                holders.insert(0, chosen)
+
+    # -- membership events -------------------------------------------------
+
+    def on_peer_rejoined(self, peer_id: str) -> None:
+        """A crash-restarted peer's replica copies may have missed ships
+        (and its own in-doubt shares resolve against a possibly moved
+        primary): schedule every replicated document it holds for a
+        settlement resync."""
+        for name, holders in self._document_holders.items():
+            if len(holders) > 1 and peer_id in holders:
+                self._stale.add((name, peer_id))
+
+    # -- settlement --------------------------------------------------------
+
+    def settle(self, drain: Optional[Callable[[], None]] = None) -> None:
+        """Deterministic end-of-run convergence.
+
+        1. lift every lag fault (applying accumulated inboxes);
+        2. flush every pending ship buffer;
+        3. *drain* the event queue (delayed deliveries), then apply any
+           frames that were still in flight;
+        4. re-synchronize stale holders by full content copy from the
+           current primary.
+
+        After this, every alive holder of a replicated document must
+        equal its primary — the oracle's ``replica_diverged`` predicate.
+        """
+        for peer_id in sorted(self._lagged):
+            self.unlag_replica(peer_id)
+        for _key, channel in sorted(self._channels.items()):
+            self._ship(channel)
+        if drain is not None:
+            drain()
+        for _key, channel in sorted(self._channels.items()):
+            if channel.inbox and self.network.is_alive(channel.replica):
+                self._apply_inbox(channel)
+                self._send_ack(channel)
+        if drain is not None:
+            drain()
+        for name, holder in sorted(self._stale):
+            self._resync(name, holder)
+        self._stale.clear()
+
+    def _resync_source(self, document_name: str, holder: str) -> Optional[str]:
+        """The holder to copy from: the first alive holder that is NOT
+        itself stale.
+
+        The primary is preferred (holders order), but it is not always
+        eligible — a replica promoted by failover and then crashed is
+        still ``holders[0]`` yet missed ships while it was down.  Every
+        alive non-stale holder is a superset at this point: ships route
+        all-to-all per document and the pending buffers were flushed
+        before the resync phase, so its content is the converged state.
+        """
+        for candidate in self._document_holders.get(document_name, []):
+            if candidate == holder or (document_name, candidate) in self._stale:
+                continue
+            if self.network.is_alive(candidate):
+                return candidate
+        return None
+
+    def _resync(self, document_name: str, holder: str) -> None:
+        """State transfer: overwrite *holder*'s replica content with a
+        current holder's (crash restarts can leave a holder beyond
+        incremental repair — e.g. its share was resolved after the
+        primary role moved)."""
+        holders = self._document_holders.get(document_name, [])
+        if holder not in holders:
+            return
+        if not self.network.is_alive(holder):
+            return
+        source = self._resync_source(document_name, holder)
+        if source is None:
+            return
+        primary = self.network.get_peer(source)
+        target = self.network.get_peer(holder)
+        source_doc = primary.get_axml_document(document_name)
+        text = serialize(source_doc.document, include_ids=True)
+        from repro.xmlstore.parser import parse_document
+
+        copy = parse_document(text, name=document_name)
+        rebind_ids(copy)
+        target.host_document(AXMLDocument(copy, name=document_name))
+        self.network.metrics.incr("replica_resyncs")

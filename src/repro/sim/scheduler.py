@@ -320,9 +320,10 @@ class TransactionScheduler:
         try:
             operation = spec.operations[index]
             if isinstance(operation, InvokeOp):
+                target = self._route_invoke(operation)
                 origin.invoke(
                     state.txn_id,
-                    operation.target_peer,
+                    target,
                     operation.method_name,
                     operation.params_dict,
                 )
@@ -339,6 +340,29 @@ class TransactionScheduler:
             self._finish(state, ABORTED_FAILURE)
             return
         self._schedule_op(state, index + 1)
+
+    def _route_invoke(self, operation: InvokeOp) -> str:
+        """Pick the peer to invoke, rerouting around a dead primary.
+
+        Legacy (unreplicated) runs are untouched: the spec's target is
+        used verbatim.  When the network carries a replication manager
+        and the planned target of a *replicated* service is dead at
+        dispatch time, the invocation goes straight to the most-preferred
+        alive holder instead of failing at the origin and waiting for
+        forward recovery to rediscover the same fact.
+        """
+        replication = getattr(self.network, "replication", None)
+        if replication is None:
+            return operation.target_peer
+        if self.network.is_alive(operation.target_peer):
+            return operation.target_peer
+        if not replication.is_replicated_method(operation.method_name):
+            return operation.target_peer
+        holder = replication.alive_service_holder(operation.method_name)
+        if holder is None:
+            return operation.target_peer
+        self.network.metrics.incr("scheduler_reroutes")
+        return holder
 
     @staticmethod
     def _abort_quietly(origin, txn_id: str) -> None:

@@ -58,7 +58,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.txn.checkpoint import Checkpoint, CheckpointStore
 from repro.txn.wal import LogEntry, entry_bytes, entry_from_xml, entry_to_xml
@@ -139,6 +139,10 @@ class DurableWal:
         self._pending_entries: List[LogEntry] = []
         #: Highest entry seq ever appended (checkpoint header bookkeeping).
         self._last_seq = 0
+        #: Highest entry seq durably on disk — the write-ahead high-water
+        #: mark WAL shipping checks before an entry may leave the peer
+        #: (buffered group-commit frames are *not* durable yet).
+        self.last_durable_seq = 0
         self._appends_since_ckpt = 0
         self._ckpt_store: Optional[CheckpointStore] = (
             CheckpointStore(directory, peer_id) if checkpoint_every > 0 else None
@@ -206,6 +210,7 @@ class DurableWal:
         self._appends_since_ckpt += 1
         if self.batch_size <= 1:
             self._write_frame("E", entry_to_xml(entry))
+            self.last_durable_seq = max(self.last_durable_seq, entry.seq)
             self._maybe_rollover()
             self._maybe_checkpoint()
             return
@@ -255,6 +260,11 @@ class DurableWal:
         self._fh.flush()
         wrote = len(self._pending)
         self._segment_frames += wrote
+        if self._pending_entries:
+            self.last_durable_seq = max(
+                self.last_durable_seq,
+                max(e.seq for e in self._pending_entries),
+            )
         self._pending.clear()
         self._pending_entries.clear()
         if self._timer is not None:
@@ -379,7 +389,6 @@ class DurableWal:
         the group-commit window without mutating anything.
         """
         by_seq: Dict[int, LogEntry] = {}
-        tombstoned: Set[str] = set()
         checkpoint: Optional[Checkpoint] = None
         ckpt_torn = 0
         if self._ckpt_store is not None:
@@ -395,7 +404,7 @@ class DurableWal:
             if self._segment_index_of(path) < floor:
                 continue
             seg_frames, seg_torn, seg_entries = self._scan_segment(
-                path, by_seq, tombstoned
+                path, by_seq
             )
             frames += seg_frames
             torn = torn or seg_torn
@@ -403,10 +412,7 @@ class DurableWal:
         if include_pending:
             for entry in self._pending_entries:
                 by_seq[entry.seq] = entry
-        live = [
-            e for _, e in sorted(by_seq.items())
-            if e.txn_id not in tombstoned
-        ]
+        live = [e for _, e in sorted(by_seq.items())]
         return WalScan(
             entries=live,
             torn=torn,
@@ -417,8 +423,15 @@ class DurableWal:
             documents=dict(checkpoint.documents) if checkpoint is not None else {},
         )
 
-    def _scan_segment(self, path, by_seq, tombstoned):
-        """Scan one segment into *by_seq*/*tombstoned*.
+    def _scan_segment(self, path, by_seq):
+        """Scan one segment into *by_seq*.
+
+        Tombstones apply **in stream order**: a ``T`` frame suppresses
+        only the entries written before it.  A transaction that aborts
+        (tombstone) and is then *retried on the same peer* appends fresh
+        entries after the tombstone — they are live, and a set-based
+        "dead txn id" scan would wrongly drop them (losing the retry's
+        share at restart).
 
         Returns ``(good_frames, torn, entry_frames)``; as a side effect
         records the byte offset of the durable prefix in
@@ -459,7 +472,10 @@ class DurableWal:
                 by_seq[entry.seq] = entry
                 entry_frames += 1
             elif kind == "T":
-                tombstoned.add(payload)
+                for seq in [
+                    s for s, e in by_seq.items() if e.txn_id == payload
+                ]:
+                    del by_seq[seq]
             else:
                 torn = True
                 break
@@ -521,6 +537,9 @@ class DurableWal:
         self._live = list(scan.entries)
         self._last_seq = max(
             [e.seq for e in self._live], default=self._last_seq
+        )
+        self.last_durable_seq = max(
+            [e.seq for e in self._live], default=0
         )
         if self._ckpt_store is not None:
             self._ckpt_index = max(

@@ -22,6 +22,7 @@ from repro.txn.operations import (
     OperationOutcome,
     TransactionalOperation,
     build_compensation,
+    build_compensation_for_entries,
 )
 from repro.txn.transaction import Transaction, TransactionContext, TransactionState
 from repro.txn.wal import OperationLog
@@ -218,6 +219,64 @@ class TransactionManager:
         self.compensation_cost += meter.nodes_traversed
         context.transition(TransactionState.ABORTED)
         self.log.truncate(txn_id)
+        return executed
+
+    def abort_invocation_tail(
+        self,
+        txn_id: str,
+        after_seq: int,
+        meter: Optional[TraversalMeter] = None,
+    ) -> int:
+        """Compensate only the entries appended after *after_seq*.
+
+        Partial backward recovery for a peer that holds more than one
+        share of the same transaction — a failed-over (or rerouted)
+        service co-located with a delegate it invokes.  Aborting the
+        whole local share there would destroy the *enclosing*
+        invocation's completed work; instead, only the failed
+        invocation's tail is undone and dropped from the log, and the
+        context stays ACTIVE so a forward-recovery retry can continue.
+
+        The log rewrite is crash-safe: ``truncate`` writes the
+        transaction's tombstone and the surviving entries are appended
+        again after it, so with the WAL's in-order tombstone semantics a
+        restart recovers exactly the surviving share.
+
+        Returns the number of compensating actions executed.
+        """
+        context = self.context(txn_id)
+        if context.is_finished:
+            return 0
+        entries = self.log.entries_for(txn_id)
+        tail = [e for e in entries if e.seq > after_seq]
+        if not tail:
+            return 0
+        survivors = [e for e in entries if e.seq <= after_seq]
+        meter = meter or TraversalMeter()
+        executed = 0
+        plans = build_compensation_for_entries(
+            list(reversed(tail)), self.ordered_compensation
+        )
+        with self._span(
+            f"compensate_tail:{txn_id}", txn_id, plans=str(len(plans))
+        ):
+            for plan in plans:
+                document = self._document_provider(plan.document_name).document
+                plan.execute(document, meter)
+                executed += len(plan)
+        self.compensation_cost += meter.nodes_traversed
+        self.log.truncate(txn_id)
+        context.log_seqs = []
+        for entry in survivors:
+            replayed = self.log.append(
+                txn_id=entry.txn_id,
+                kind=entry.kind,
+                document_name=entry.document_name,
+                action_xml=entry.action_xml,
+                records=entry.records,
+                timestamp=entry.timestamp,
+            )
+            context.log_seqs.append(replayed.seq)
         return executed
 
     def mark_aborted_without_compensation(self, txn_id: str) -> None:

@@ -126,9 +126,21 @@ def build_compensation(
     are returned most-recently-touched document first, so executing them
     in list order preserves global reverse order across documents.
     """
+    return build_compensation_for_entries(log.undo_entries(txn_id), ordered)
+
+
+def build_compensation_for_entries(
+    undo_entries, ordered: bool = True
+) -> List[CompensationPlan]:
+    """Compensation plans for an explicit entry list (newest first).
+
+    The subset variant of :func:`build_compensation`: partial backward
+    recovery compensates only one invocation's tail of a transaction's
+    log, not the whole transaction.
+    """
     plans: List[CompensationPlan] = []
     by_document = {}
-    for entry in log.undo_entries(txn_id):
+    for entry in undo_entries:
         if not entry.records:
             continue
         plan = by_document.get(entry.document_name)

@@ -80,6 +80,9 @@ class RecoveryDecision:
     fragments: List[str] = field(default_factory=list)
     retries_used: int = 0
     used_alternative: bool = False
+    #: Which replica actually served the retry (empty when the original
+    #: target did, or when the attempt was absorbed/hooked).
+    alternative_used: str = ""
 
     @classmethod
     def unhandled(cls) -> "RecoveryDecision":
@@ -122,13 +125,20 @@ def attempt_forward_recovery(
     reinvoke: Reinvoker,
     wait: Callable[[float], None],
     original_target_alive: Callable[[], bool],
+    select_alternative: Optional[Callable[[], Optional[str]]] = None,
 ) -> RecoveryDecision:
     """Run one policy's forward-recovery attempt.
 
     Retries go to the original peer while it is alive, then (or when the
-    policy names one) to the alternative replica peer.  Exhausted retries
-    and failed hooks return ``unhandled`` — the caller falls back to
-    backward recovery.
+    policy names one) to the alternative replica peer.  A policy's
+    explicit ``alternative_peer`` wins; otherwise *select_alternative*
+    (when given) is consulted **per retry** — it is how the replication
+    layer offers "the most-caught-up live replica right now", so a
+    second retry after the first replica also died can land on a third
+    peer (double failover).  The selector is only called when the retry
+    would actually go to a replica, because selection promotes the
+    chosen replica to primary.  Exhausted retries and failed hooks
+    return ``unhandled`` — the caller falls back to backward recovery.
     """
     if policy.hook is not None:
         fragments = policy.hook(params)
@@ -140,16 +150,20 @@ def attempt_forward_recovery(
     retries = 0
     while retries < policy.retry_times:
         retries += 1
-        use_alternative = bool(policy.alternative_peer) and (
-            not original_target_alive() or retries > 1
-        )
-        if not use_alternative and not original_target_alive():
+        alive = original_target_alive()
+        alternative = ""
+        if not alive or retries > 1:
+            alternative = policy.alternative_peer
+            if not alternative and select_alternative is not None:
+                alternative = select_alternative() or ""
+        use_alternative = bool(alternative)
+        if not use_alternative and not alive:
             # Original is gone and no replica: no retry can succeed —
             # don't burn (simulated) wait time on doomed attempts.
             break
         if policy.retry_wait > 0:
             wait(policy.retry_wait)
-        attempt_target = policy.alternative_peer if use_alternative else target_peer
+        attempt_target = alternative if use_alternative else target_peer
         try:
             fragments = reinvoke(attempt_target, method_name, params)
             return RecoveryDecision(
@@ -157,6 +171,7 @@ def attempt_forward_recovery(
                 fragments=fragments,
                 retries_used=retries,
                 used_alternative=use_alternative,
+                alternative_used=attempt_target if use_alternative else "",
             )
         except (ServiceFault, PeerDisconnected):
             continue

@@ -136,4 +136,5 @@ class TestOracleUnit:
             "outcome_mismatch",
             "orphan_chain",
             "wal_tail_inconsistent",
+            "replica_diverged",
         }

@@ -50,6 +50,27 @@ class TestAppendAndLoad:
         assert [e.txn_id for e in scan.entries] == ["T2"]
         wal.close()
 
+    def test_tombstone_only_kills_earlier_entries(self, tmp_path):
+        # A transaction can abort (tombstone) and then be retried on the
+        # same peer: the retry appends fresh entries for the *same* txn
+        # id after the tombstone.  Those entries are live — a tombstone
+        # suppresses only what precedes it in the stream, and a restart
+        # must recover the retry's share.
+        wal = DurableWal(str(tmp_path), peer_id="P1")
+        log = OperationLog("P1")
+        log.sink = wal
+        log.append("T1", "update", "D", "<a/>")
+        log.truncate("T1")
+        retried = log.append("T1", "update", "D", "<b/>")
+        scan = wal.load()
+        assert [(e.seq, e.txn_id, e.action_xml) for e in scan.entries] == [
+            (retried.seq, "T1", "<b/>")
+        ]
+        wal.close()
+        reopened = DurableWal(str(tmp_path), peer_id="P1")
+        assert [e.action_xml for e in reopened.load().entries] == ["<b/>"]
+        reopened.close()
+
     def test_restart_adopts_directory(self, tmp_path):
         wal = DurableWal(str(tmp_path), peer_id="P1")
         log = OperationLog("P1")

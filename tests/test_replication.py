@@ -1,0 +1,350 @@
+"""WAL shipping, deterministic failover, and resync (docs/REPLICATION.md).
+
+These pin the replication subsystem's protocol-level behaviour: frames
+ship on commit and carry acked high-water marks, failover picks the
+most-caught-up replica deterministically, a lagging replica catches up
+by replaying its inbox, and sibling-share frames are deferred — never
+dropped — while the receiver's own share is in doubt.
+"""
+
+import pytest
+
+from repro.axml.document import AXMLDocument
+from repro.chaos import ChaosConfig, run_chaos
+from repro.chaos.oracle import AtomicityOracle
+from repro.chaos.shrink import summary_text
+from repro.p2p.chain import PeerChain
+from repro.p2p.network import SimNetwork
+from repro.p2p.peer import AXMLPeer
+from repro.p2p.replication import ReplicationManager
+from repro.services.descriptor import ParamSpec, ServiceDescriptor
+from repro.services.service import UpdateService
+from repro.txn.recovery import DISCONNECT_FAULT, FaultPolicy
+from repro.txn.transaction import Transaction, TransactionState
+from repro.txn.wal import LogEntry
+
+SHOP2 = "<Shop2><item id='1'><price>10</price><stock>3</stock></item></Shop2>"
+
+SET_PRICE = (
+    '<action type="replace"><data><price>$price</price></data>'
+    "<location>Select i/price from i in Shop2//item;</location></action>"
+)
+
+INSERT_FLAG = (
+    '<action type="insert"><data><shipped/></data>'
+    "<location>Select i from i in Shop2//item;</location></action>"
+)
+
+
+def make_cluster(replicas=("AP3",), ship_batch=1):
+    """AP1 (origin) + AP2 (primary for Shop2/setPrice) + replica peers."""
+    network = SimNetwork()
+    replication = ReplicationManager(network, ship_batch=ship_batch)
+    peers = {
+        "AP1": AXMLPeer("AP1", network),
+        "AP2": AXMLPeer("AP2", network),
+    }
+    peers["AP2"].host_document(AXMLDocument.from_xml(SHOP2, name="Shop2"))
+    peers["AP2"].host_service(
+        UpdateService(
+            ServiceDescriptor(
+                "setPrice", kind="update", params=(ParamSpec("price"),),
+                target_document="Shop2",
+            ),
+            SET_PRICE,
+        )
+    )
+    replication.register_primary("Shop2", "AP2")
+    replication.register_service("setPrice", "AP2")
+    for peer_id in replicas:
+        peers[peer_id] = AXMLPeer(peer_id, network)
+        replication.replicate_document("Shop2", peer_id)
+        replication.replicate_service("setPrice", peer_id)
+    return network, replication, peers
+
+
+def retry_policy():
+    return [FaultPolicy(fault_names={DISCONNECT_FAULT}, retry_times=1)]
+
+
+class TestWalShipping:
+    def test_commit_ships_committed_entries_to_replicas(self):
+        network, replication, peers = make_cluster()
+        txn = peers["AP1"].begin_transaction()
+        peers["AP1"].invoke(txn.txn_id, "AP2", "setPrice", {"price": "88"})
+        assert "88" not in peers["AP3"].get_axml_document("Shop2").to_xml()
+        peers["AP1"].commit(txn.txn_id)
+        assert "88" in peers["AP3"].get_axml_document("Shop2").to_xml()
+        assert network.metrics.get("ship_frames") >= 1
+        assert network.metrics.get("ship_bytes") > 0
+
+    def test_ack_advances_high_water_mark(self):
+        network, replication, peers = make_cluster()
+        txn = peers["AP1"].begin_transaction()
+        peers["AP1"].invoke(txn.txn_id, "AP2", "setPrice", {"price": "88"})
+        peers["AP1"].commit(txn.txn_id)
+        channel = replication._channel("AP2", "AP3")
+        assert channel.shipped_seq > 0
+        assert channel.acked_seq == channel.shipped_seq
+        assert channel.unacked == []
+
+    def test_ship_batch_buffers_until_full(self):
+        network, replication, peers = make_cluster(ship_batch=2)
+        txn = peers["AP1"].begin_transaction()
+        peers["AP1"].invoke(txn.txn_id, "AP2", "setPrice", {"price": "21"})
+        peers["AP1"].commit(txn.txn_id)
+        # One committed entry < batch size: buffered, not on the wire.
+        assert "21" not in peers["AP3"].get_axml_document("Shop2").to_xml()
+        assert replication._channel("AP2", "AP3").pending
+        txn2 = peers["AP1"].begin_transaction()
+        peers["AP1"].invoke(txn2.txn_id, "AP2", "setPrice", {"price": "22"})
+        peers["AP1"].commit(txn2.txn_id)
+        # Second entry fills the batch: both frames ship together.
+        assert "22" in peers["AP3"].get_axml_document("Shop2").to_xml()
+        assert not replication._channel("AP2", "AP3").pending
+
+    def test_settle_flushes_partial_batches(self):
+        network, replication, peers = make_cluster(ship_batch=4)
+        txn = peers["AP1"].begin_transaction()
+        peers["AP1"].invoke(txn.txn_id, "AP2", "setPrice", {"price": "33"})
+        peers["AP1"].commit(txn.txn_id)
+        assert "33" not in peers["AP3"].get_axml_document("Shop2").to_xml()
+        replication.settle()
+        assert "33" in peers["AP3"].get_axml_document("Shop2").to_xml()
+
+    def test_failed_ship_requeues_for_retry(self):
+        network, replication, peers = make_cluster()
+        network.disconnect("AP3")
+        txn = peers["AP1"].begin_transaction()
+        peers["AP1"].invoke(txn.txn_id, "AP2", "setPrice", {"price": "44"})
+        peers["AP1"].commit(txn.txn_id)
+        # Receiver dead: the frame must be re-queued, never dropped.
+        assert network.metrics.get("ship_failures") >= 1
+        assert replication._channel("AP2", "AP3").pending
+        peers["AP3"].rejoin()
+        replication.settle()
+        assert "44" in peers["AP3"].get_axml_document("Shop2").to_xml()
+
+
+class TestDeterministicFailoverSelection:
+    def test_most_caught_up_replica_wins(self):
+        network, replication, peers = make_cluster(replicas=("AP3", "AP4"))
+        # AP4 is strictly more caught up with AP2's WAL than AP3.
+        replication._channel("AP2", "AP3").applied_seq = 1
+        replication._channel("AP2", "AP4").applied_seq = 5
+        network.disconnect("AP2")
+        assert replication.select_failover("AP2", "setPrice") == "AP4"
+        assert network.metrics.get("stale_reads_prevented") == 1
+
+    def test_tie_breaks_by_peer_id_not_registration_order(self):
+        network, replication, peers = make_cluster(replicas=("AP4", "AP3"))
+        network.disconnect("AP2")
+        # Equal catch-up: lexicographically smallest peer id wins even
+        # though AP4 was registered first.
+        assert replication.select_failover("AP2", "setPrice") == "AP3"
+
+    def test_selection_skips_dead_replicas(self):
+        network, replication, peers = make_cluster(replicas=("AP3", "AP4"))
+        replication._channel("AP2", "AP3").applied_seq = 9
+        network.disconnect("AP2")
+        network.disconnect("AP3")
+        assert replication.select_failover("AP2", "setPrice") == "AP4"
+
+    def test_promotion_moves_primary_role(self):
+        network, replication, peers = make_cluster()
+        network.disconnect("AP2")
+        replication.select_failover("AP2", "setPrice")
+        assert replication.holders("Shop2")[0] == "AP3"
+
+
+class TestFailover:
+    def test_invoke_fails_over_to_replica(self):
+        network, replication, peers = make_cluster()
+        peers["AP1"].set_fault_policy("setPrice", retry_policy())
+        network.disconnect("AP2")
+        txn = peers["AP1"].begin_transaction()
+        fragments = peers["AP1"].invoke(
+            txn.txn_id, "AP2", "setPrice", {"price": "66"}
+        )
+        assert fragments
+        assert "66" in peers["AP3"].get_axml_document("Shop2").to_xml()
+        assert network.metrics.get("failovers") == 1
+        assert network.metrics.get("chains_rewritten") == 1
+        peers["AP1"].commit(txn.txn_id)
+        state = peers["AP3"].manager.context(txn.txn_id).state
+        assert state is TransactionState.COMMITTED
+
+    def test_double_failover(self):
+        network, replication, peers = make_cluster(replicas=("AP3", "AP4"))
+        peers["AP1"].set_fault_policy("setPrice", retry_policy())
+        network.disconnect("AP2")
+        txn = peers["AP1"].begin_transaction()
+        peers["AP1"].invoke(txn.txn_id, "AP2", "setPrice", {"price": "71"})
+        peers["AP1"].commit(txn.txn_id)
+        assert "71" in peers["AP3"].get_axml_document("Shop2").to_xml()
+        # The first failover target dies too: the next transaction must
+        # fail over again, to the remaining replica.
+        network.disconnect("AP3")
+        txn2 = peers["AP1"].begin_transaction()
+        peers["AP1"].invoke(txn2.txn_id, "AP2", "setPrice", {"price": "72"})
+        peers["AP1"].commit(txn2.txn_id)
+        assert "72" in peers["AP4"].get_axml_document("Shop2").to_xml()
+        assert network.metrics.get("failovers") == 2
+        assert replication.holders("Shop2")[0] == "AP4"
+
+    def test_lagging_replica_mid_batch_catches_up_on_unlag(self):
+        network, replication, peers = make_cluster()
+        replication.lag_replica("AP3")
+        txn = peers["AP1"].begin_transaction()
+        peers["AP1"].invoke(txn.txn_id, "AP2", "setPrice", {"price": "51"})
+        peers["AP1"].commit(txn.txn_id)
+        channel = replication._channel("AP2", "AP3")
+        # Delivered but unapplied: the frame waits in the inbox, unacked.
+        assert channel.inbox
+        assert channel.unacked
+        assert "51" not in peers["AP3"].get_axml_document("Shop2").to_xml()
+        replication.unlag_replica("AP3")
+        assert "51" in peers["AP3"].get_axml_document("Shop2").to_xml()
+        assert channel.acked_seq == channel.shipped_seq
+
+    def test_primary_crash_between_flush_and_ack(self):
+        network, replication, peers = make_cluster()
+        replication.lag_replica("AP3")
+        txn = peers["AP1"].begin_transaction()
+        peers["AP1"].invoke(txn.txn_id, "AP2", "setPrice", {"price": "61"})
+        peers["AP1"].commit(txn.txn_id)
+        shipped_lag = len(replication._channel("AP2", "AP3").unacked)
+        assert shipped_lag >= 1
+        # The primary dies while the shipped frames are still unacked:
+        # failover must replay exactly the shipped tail on the target.
+        network.disconnect("AP2")
+        peers["AP1"].set_fault_policy("setPrice", retry_policy())
+        txn2 = peers["AP1"].begin_transaction()
+        peers["AP1"].invoke(txn2.txn_id, "AP2", "setPrice", {"price": "62"})
+        peers["AP1"].commit(txn2.txn_id)
+        replayed = network.metrics.get("failover_replay_entries")
+        assert 1 <= replayed <= shipped_lag
+        xml = peers["AP3"].get_axml_document("Shop2").to_xml()
+        assert "62" in xml and "61" not in xml  # 61 replayed, then replaced
+
+
+class TestChainRewrite:
+    def test_interior_node_substitution(self):
+        chain = PeerChain("AP1")
+        chain.add_invocation("AP1", "AP2")
+        chain.add_invocation("AP2", "AP3")
+        assert chain.substitute("AP2", "APX")
+        assert not chain.contains("AP2")
+        assert chain.children_of("AP1") == ["APX"]
+        # The interior node's subtree re-parents onto the substitute.
+        assert chain.children_of("APX") == ["AP3"]
+
+
+class TestDeferredSiblingShareFrames:
+    def test_frame_for_in_doubt_sibling_share_is_deferred_not_dropped(self):
+        network, replication, peers = make_cluster()
+        ap3 = peers["AP3"]
+        # AP3 holds its own live (in-doubt) share of T1 touching Shop2.
+        ap3.manager.begin(Transaction("T1", "AP1"), parent_peer="AP1")
+        ap3.manager.record_service_changes("T1", "Shop2", SET_PRICE, records=[])
+        # A sibling operation of the same transaction ships in from AP2.
+        entry = LogEntry(
+            seq=5, txn_id="T1", kind="update",
+            document_name="Shop2", action_xml=INSERT_FLAG,
+        )
+        channel = replication._channel("AP2", "AP3")
+        channel.inbox.append(entry)
+        replication._apply_inbox(channel)
+        # Not applied (the local decision is pending) — but not lost.
+        assert "<shipped" not in ap3.get_axml_document("Shop2").to_xml()
+        assert channel.inbox == [entry]
+        assert network.metrics.get("ship_deferred_entries") == 1
+        ap3.manager.commit_local("T1")
+        replication._apply_inbox(channel)
+        assert "<shipped" in ap3.get_axml_document("Shop2").to_xml()
+        assert channel.inbox == []
+        assert channel.applied_seq == 5
+
+
+class TestResync:
+    def test_resync_source_skips_stale_holders(self):
+        network, replication, peers = make_cluster(replicas=("AP3", "AP4"))
+        # The primary itself is stale (promoted, then crash-restarted):
+        # the copy source must be the first alive NON-stale holder.
+        replication._stale.add(("Shop2", "AP2"))
+        assert replication._resync_source("Shop2", "AP4") == "AP3"
+        assert replication._resync_source("Shop2", "AP2") == "AP3"
+
+    def test_rejoined_holder_resynced_at_settle(self):
+        network, replication, peers = make_cluster()
+        peers["AP3"].crash()
+        txn = peers["AP1"].begin_transaction()
+        peers["AP1"].invoke(txn.txn_id, "AP2", "setPrice", {"price": "97"})
+        peers["AP1"].commit(txn.txn_id)
+        peers["AP3"].rejoin()
+        replication.settle()
+        assert "97" in peers["AP3"].get_axml_document("Shop2").to_xml()
+        assert network.metrics.get("replica_resyncs") >= 1
+
+
+class TestPartialBackwardRecovery:
+    def test_abort_invocation_tail_keeps_earlier_share(self):
+        network, replication, peers = make_cluster(replicas=())
+        ap2 = peers["AP2"]
+        txn = ap2.begin_transaction()
+        ap2.submit(txn.txn_id, SET_PRICE.replace("$price", "42"))
+        boundary = max(
+            e.seq for e in ap2.manager.log.entries_for(txn.txn_id)
+        )
+        ap2.submit(txn.txn_id, SET_PRICE.replace("$price", "77"))
+        executed = ap2.manager.abort_invocation_tail(txn.txn_id, boundary)
+        assert executed >= 1
+        xml = ap2.get_axml_document("Shop2").to_xml()
+        assert "42" in xml and "77" not in xml
+        # The context stays ACTIVE and the surviving share still commits.
+        context = ap2.manager.context(txn.txn_id)
+        assert context.state is TransactionState.ACTIVE
+        assert [
+            e.document_name for e in ap2.manager.log.entries_for(txn.txn_id)
+        ] == ["Shop2"]
+        ap2.commit(txn.txn_id)
+        assert "42" in ap2.get_axml_document("Shop2").to_xml()
+
+
+class TestOracleReplicaDiverged:
+    def test_tampered_replica_is_detected(self):
+        network, replication, peers = make_cluster()
+        txn = peers["AP1"].begin_transaction()
+        peers["AP1"].invoke(txn.txn_id, "AP2", "setPrice", {"price": "13"})
+        peers["AP1"].commit(txn.txn_id)
+        oracle = AtomicityOracle(outcomes={}, expected=[], txn_ids={})
+        assert oracle._check_replicas(peers) == []
+        # Tamper with the replica copy behind the protocol's back.
+        from repro.query.parser import parse_action
+        from repro.query.update import apply_action
+
+        apply_action(
+            peers["AP3"].get_axml_document("Shop2").document,
+            parse_action(INSERT_FLAG),
+        )
+        kinds = {v.kind for v in oracle._check_replicas(peers)}
+        assert kinds == {"replica_diverged"}
+
+
+class TestReplicatedChaosDeterminism:
+    CONFIG = dict(
+        seed=5, txns=6, fault_rate=0.2, crash_rate=0.3,
+        replicas=2, durability=True,
+    )
+
+    def test_zero_violations_and_byte_identical_reruns(self):
+        first = run_chaos(ChaosConfig(**self.CONFIG))
+        second = run_chaos(ChaosConfig(**self.CONFIG))
+        assert first.violations == []
+        assert summary_text(first) == summary_text(second)
+
+    def test_replication_metrics_surface(self):
+        result = run_chaos(ChaosConfig(**self.CONFIG))
+        counters = result.summary["metrics"]["counters"]
+        assert counters.get("ship_frames", 0) > 0
+        assert counters.get("ship_bytes", 0) > 0

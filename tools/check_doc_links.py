@@ -1,0 +1,77 @@
+"""Check that relative markdown links in the docs resolve to real files.
+
+Scans ``README.md``, ``docs/*.md``, and the other top-level ``*.md``
+files for ``[text](target)`` links; every relative target (external
+``http(s):``/``mailto:`` links and pure ``#anchor`` links are skipped)
+must name an existing file or directory relative to the linking file.
+
+Run:  python tools/check_doc_links.py      # exit 1 on any broken link
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — target ends at the first unescaped ')'; good enough
+# for the plain links these docs use (no nested parens, no titles).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+# Imported source material, not authored docs: retrieval artifacts may
+# reference figures that were never shipped with the text.
+EXCLUDE = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def doc_files():
+    for path in sorted(REPO_ROOT.glob("*.md")):
+        if path.name not in EXCLUDE:
+            yield path
+    yield from sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def check_file(path: Path) -> list:
+    broken = []
+    in_fence = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = (path.parent / target_path).resolve()
+            if not resolved.exists():
+                broken.append((number, target))
+    return broken
+
+
+def main() -> int:
+    total_links = 0
+    failures = 0
+    for path in doc_files():
+        broken = check_file(path)
+        total_links += 1
+        for number, target in broken:
+            failures += 1
+            rel = path.relative_to(REPO_ROOT)
+            print(f"BROKEN: {rel}:{number} -> {target}", file=sys.stderr)
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve ({len(list(doc_files()))} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

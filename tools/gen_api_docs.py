@@ -1,10 +1,12 @@
 """Generate docs/API.md from the package's docstrings.
 
-Run:  python tools/gen_api_docs.py
+Run:  python tools/gen_api_docs.py            # regenerate
+      python tools/gen_api_docs.py --check    # exit 1 if docs/API.md is stale
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
 import inspect
 import os
@@ -45,7 +47,7 @@ def iter_modules():
         yield importlib.import_module(info.name)
 
 
-def main() -> None:
+def render() -> str:
     lines = [
         "# API reference",
         "",
@@ -68,13 +70,43 @@ def main() -> None:
             description = first_line(obj) or "(undocumented)"
             lines.append(f"- **{kind} `{name}`** — {description}")
         lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed docs/API.md instead of writing; "
+        "exit 1 on drift (used by CI)",
+    )
+    args = parser.parse_args()
+
+    text = render()
     out_path = os.path.join(os.path.dirname(__file__), "..", "docs", "API.md")
+    if args.check:
+        try:
+            with open(out_path) as handle:
+                committed = handle.read()
+        except FileNotFoundError:
+            committed = ""
+        if committed != text:
+            print(
+                "docs/API.md is stale — regenerate with "
+                "`python tools/gen_api_docs.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print("docs/API.md is up to date")
+        return 0
     os.makedirs(os.path.dirname(out_path), exist_ok=True)
     with open(out_path, "w") as handle:
-        handle.write("\n".join(lines) + "\n")
-    undocumented = sum(1 for line in lines if "(undocumented)" in line)
-    print(f"wrote {out_path} ({len(lines)} lines, {undocumented} undocumented items)")
+        handle.write(text)
+    lines = text.count("\n")
+    undocumented = text.count("(undocumented)")
+    print(f"wrote {out_path} ({lines} lines, {undocumented} undocumented items)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())
