@@ -66,14 +66,7 @@ class SnapshotRollback:
         snapshot = self._snapshots.pop(key, None)
         if snapshot is None:
             return False
-        target = axml_document.document
-        target.root = None
-        target._index.clear()
-        target.index.clear()
-        target._epoch += 1
-        if snapshot.root is not None:
-            target.root = snapshot.root.clone_into(target, preserve_ids=True)
-            target._epoch += 1
+        axml_document.document.restore_from(snapshot, preserve_ids=True)
         return True
 
     def release(self, txn_id: str) -> int:

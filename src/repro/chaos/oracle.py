@@ -44,9 +44,11 @@ from __future__ import annotations
 
 import re
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.obs.prof import PROF
 from repro.txn.transaction import TransactionState
+from repro.xmlstore.serializer import canonical_digest
 
 #: Violation kinds the oracle can report.
 VIOLATION_KINDS = (
@@ -245,6 +247,13 @@ class AtomicityOracle:
         converged; a holder with a missing, extra or altered node has
         not.  Dead holders are skipped (settlement reconnects everyone,
         so in practice this sweeps the full set).
+
+        Digest first: equal cached canonical digests mean byte-equal
+        canonical text — trivially converged, no canonicalization at
+        all.  Only mismatching digests (which may still be the same
+        multiset in a different sibling order) pay for the full
+        order-insensitive :func:`_canonical_xml` comparison, computed
+        lazily for the primary the first time any holder needs it.
         """
         replication = self._replication(peers)
         if replication is None:
@@ -257,7 +266,9 @@ class AtomicityOracle:
             primary = peers.get(holders[0])
             if primary is None or primary.disconnected:
                 continue
-            primary_xml = _canonical_xml(primary.documents[doc_name].to_xml())
+            primary_doc = primary.documents[doc_name]
+            primary_digest = canonical_digest(primary_doc.document)
+            primary_xml: Optional[str] = None
             for holder in holders[1:]:
                 peer = peers.get(holder)
                 if peer is None or peer.disconnected:
@@ -268,7 +279,13 @@ class AtomicityOracle:
                         "replica_diverged", peer=holder, document=doc_name,
                         detail="replica copy missing",
                     ))
-                elif _canonical_xml(document.to_xml()) != primary_xml:
+                    continue
+                if canonical_digest(document.document) == primary_digest:
+                    PROF.incr("replica_digest_matches")
+                    continue
+                if primary_xml is None:
+                    primary_xml = _canonical_xml(primary_doc.to_xml())
+                if _canonical_xml(document.to_xml()) != primary_xml:
                     violations.append(Violation(
                         "replica_diverged", peer=holder, document=doc_name,
                         detail=f"content differs from primary {holders[0]}",

@@ -102,6 +102,27 @@ class Profiler:
 #: global between unrelated measurements is only needed in benchmarks.
 PROF = Profiler()
 
+#: Counters that never merge into run summaries.  These count *cache
+#: effectiveness* of the serialization fast path, which by design varies
+#: with the fast-path switch while the run's observable behaviour does
+#: not — merging them would make "cache on" and "cache off" summaries
+#: differ and break the byte-identity guarantee the P3 bench asserts.
+#: Benchmarks read them straight from :data:`PROF` instead.
+SUMMARY_LOCAL_COUNTERS = frozenset(
+    {
+        "serialize_cache_hits",
+        "serialize_cache_misses",
+        "serialize_tree_builds",
+        "serialize_digest_hits",
+        "serialize_digest_misses",
+        "clone_fast",
+        "clone_fallback",
+        "entry_codec_hits",
+        "entry_codec_misses",
+        "replica_digest_matches",
+    }
+)
+
 
 @contextmanager
 def profiled(metrics: Any = None, prefix: str = "prof_") -> Iterator[Profiler]:
@@ -111,7 +132,9 @@ def profiled(metrics: Any = None, prefix: str = "prof_") -> Iterator[Profiler]:
     given, the block's counter deltas are merged into it under *prefix*
     so they surface in ``repro report`` and the run's JSON summary.
     Timings are deliberately not merged: wall-clock is not deterministic
-    and would poison byte-identical summaries.
+    and would poison byte-identical summaries — and neither are the
+    :data:`SUMMARY_LOCAL_COUNTERS`, whose values depend on cache state
+    rather than on the run's logical behaviour.
     """
     before = PROF.snapshot()
     try:
@@ -119,6 +142,8 @@ def profiled(metrics: Any = None, prefix: str = "prof_") -> Iterator[Profiler]:
     finally:
         if metrics is not None:
             for name, delta in sorted(PROF.delta_since(before).items()):
+                if name in SUMMARY_LOCAL_COUNTERS:
+                    continue
                 metrics.incr(prefix + name, delta)
 
 

@@ -257,10 +257,27 @@ class PeerChain:
         return added
 
     def copy(self) -> "PeerChain":
-        return PeerChain.from_text(self.to_text())
+        """Independent deep copy of the chain.
+
+        A direct structural copy of the node tree — equivalent to (and
+        pinned against, in ``tests/test_p2p_chain.py``) the historical
+        ``from_text``-of-``to_text`` round trip, without the
+        format/parse cost on every piggybacked invocation.
+        """
+        chain = PeerChain.__new__(PeerChain)
+        chain.root = _copy_chain_node(self.root, None)
+        return chain
 
     def __repr__(self) -> str:
         return f"PeerChain({self.to_text()})"
+
+
+def _copy_chain_node(
+    node: ChainNode, parent: Optional[ChainNode]
+) -> ChainNode:
+    copy = ChainNode(node.peer_id, node.super_peer, parent=parent)
+    copy.children = [_copy_chain_node(child, copy) for child in node.children]
+    return copy
 
 
 class _ChainParser:

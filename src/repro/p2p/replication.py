@@ -47,7 +47,6 @@ from repro.p2p.network import SimNetwork
 from repro.query.parser import parse_action
 from repro.query.update import apply_action
 from repro.txn.wal import LogEntry, entry_bytes, entry_from_xml, entry_to_xml
-from repro.xmlstore.serializer import rebind_ids, serialize
 
 
 @dataclass
@@ -136,13 +135,12 @@ class ReplicationManager:
         source_peer = self.network.get_peer(holders[0])
         target_peer = self.network.get_peer(to_peer_id)
         source_doc = source_peer.get_axml_document(document_name)
-        # Serialize with ids and rebind on the copy: identical trees with
-        # identical node identities, independent storage.
-        text = serialize(source_doc.document, include_ids=True)
-        from repro.xmlstore.parser import parse_document
-
-        copy = parse_document(text, name=document_name)
-        rebind_ids(copy)
+        # Structural clone preserving ids: identical trees with identical
+        # node identities, independent storage (parse_equivalent keeps the
+        # copy byte-for-byte what the old serialize→parse route produced).
+        copy = source_doc.document.clone_tree(
+            preserve_ids=True, name=document_name, parse_equivalent=True
+        )
         replica = AXMLDocument(copy, name=document_name)
         target_peer.host_document(replica)
         if to_peer_id not in self._document_holders[document_name]:
@@ -568,10 +566,8 @@ class ReplicationManager:
         primary = self.network.get_peer(source)
         target = self.network.get_peer(holder)
         source_doc = primary.get_axml_document(document_name)
-        text = serialize(source_doc.document, include_ids=True)
-        from repro.xmlstore.parser import parse_document
-
-        copy = parse_document(text, name=document_name)
-        rebind_ids(copy)
+        copy = source_doc.document.clone_tree(
+            preserve_ids=True, name=document_name, parse_equivalent=True
+        )
         target.host_document(AXMLDocument(copy, name=document_name))
         self.network.metrics.incr("replica_resyncs")

@@ -40,6 +40,12 @@ class LogEntry:
     records: List[ChangeRecord] = field(default_factory=list)
     #: Simulated time of the append (0.0 outside a simulation).
     timestamp: float = 0.0
+    #: Memoized :func:`entry_to_xml` frame.  Entries are immutable after
+    #: append, so the first encode (durable-WAL write) is reused by the
+    #: checkpoint and by every replication ship instead of re-rendering.
+    _xml_cache: Optional[str] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_compensatable(self) -> bool:
@@ -265,15 +271,32 @@ def _entry_from_element(entry_el) -> LogEntry:
 
 
 def entry_to_xml(entry: LogEntry) -> str:
-    """One entry as a self-contained XML document (durable-WAL framing)."""
+    """One entry as a self-contained XML document (durable-WAL framing).
+
+    Frames are memoized on the entry (entries are immutable once
+    appended), so an entry written to the WAL, folded into a checkpoint
+    and shipped to R replicas encodes once rather than 2+R times.  The
+    cache is encode-side only: decoding never seeds it, keeping the
+    memoized frame provably identical to a fresh render.
+    """
+    from repro.obs.prof import PROF
+    from repro.xmlstore.fastpath import fast_path_enabled
     from repro.xmlstore.nodes import Document
     from repro.xmlstore.serializer import serialize
 
+    use_cache = fast_path_enabled()
+    if use_cache and entry._xml_cache is not None:
+        PROF.incr("entry_codec_hits")
+        return entry._xml_cache
     doc = Document("entry")
     root = doc.create_root("entry")
     root.attributes.update(_entry_attrs(entry))
     _fill_entry_element(root, entry)
-    return serialize(doc)
+    text = serialize(doc)
+    if use_cache:
+        PROF.incr("entry_codec_misses")
+        entry._xml_cache = text
+    return text
 
 
 def entry_from_xml(text: str) -> LogEntry:

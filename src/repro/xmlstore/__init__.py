@@ -17,7 +17,12 @@ corresponding ID".
 from repro.xmlstore.names import QName, AXML_NS, AXML_PREFIX
 from repro.xmlstore.nodes import Document, Element, Text, Node, NodeId
 from repro.xmlstore.parser import parse_document, parse_fragment
-from repro.xmlstore.serializer import serialize, pretty
+from repro.xmlstore.serializer import serialize, pretty, canonical, canonical_digest
+from repro.xmlstore.fastpath import (
+    fast_path_enabled,
+    set_fast_path_enabled,
+    fast_path_disabled,
+)
 from repro.xmlstore.path import PathExpr, parse_path
 from repro.xmlstore.diff import diff_documents, EditScript, EditOp
 
@@ -34,6 +39,11 @@ __all__ = [
     "parse_fragment",
     "serialize",
     "pretty",
+    "canonical",
+    "canonical_digest",
+    "fast_path_enabled",
+    "set_fast_path_enabled",
+    "fast_path_disabled",
     "PathExpr",
     "parse_path",
     "diff_documents",

@@ -1,0 +1,57 @@
+"""Global switch for the serialization fast path.
+
+The fast path is three related optimizations (see ``docs/PERF.md``,
+"Serialization fast path"):
+
+* epoch-cached canonical serialization and digests on
+  :class:`~repro.xmlstore.nodes.Document`,
+* the structural clone behind :meth:`Document.clone_tree` (replacing
+  serialize→parse round trips),
+* the memoized per-entry WAL codec
+  (:func:`repro.txn.wal.entry_to_xml`).
+
+All three are *semantics-preserving*: with the switch off, every call
+recomputes from scratch and every clone takes the historical
+serialize→parse route, producing byte-identical observable results.
+Benchmarks (``benchmarks/bench_p3_serialization.py``) and the
+hypothesis equivalence tests flip the switch to compare the two paths;
+it lives in its own module so :mod:`repro.xmlstore.nodes`,
+:mod:`repro.xmlstore.serializer` and :mod:`repro.txn.wal` can all
+consult it without import cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENABLED = True
+
+
+def fast_path_enabled() -> bool:
+    """True when cached serialization / structural clone / memoized
+    entry codec may be used."""
+    return _ENABLED
+
+
+def set_fast_path_enabled(enabled: bool) -> bool:
+    """Set the global fast-path switch; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def fast_path_disabled() -> Iterator[None]:
+    """Force cold serialization and round-trip clones within the block.
+
+    The bench/test oracle: results inside the block are what the system
+    computed before the fast path existed, so comparing against them
+    proves the caches are invisible.
+    """
+    previous = set_fast_path_enabled(False)
+    try:
+        yield
+    finally:
+        set_fast_path_enabled(previous)

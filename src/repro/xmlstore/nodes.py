@@ -28,10 +28,67 @@ import itertools
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import NodeNotFound, XmlStructureError
+from repro.obs.prof import PROF
+from repro.xmlstore.fastpath import fast_path_enabled
 from repro.xmlstore.index import StructuralIndex
 from repro.xmlstore.names import QName, is_axml_meta_name
 
 _document_counter = itertools.count(1)
+
+
+class _ObservedAttributes(dict):
+    """An element's attribute map, reporting writes to the document.
+
+    The serialization cache is keyed by :attr:`Document.content_epoch`,
+    which must move on *every* observable change — including attribute
+    writes, which do not alter the tree structure (so they leave the
+    structural ``mutation_epoch``, and with it the index rank cache,
+    untouched).  Subclassing ``dict`` keeps reads at native speed; only
+    the mutating operations pay the one extra increment.
+    """
+
+    __slots__ = ("_document",)
+
+    def __init__(self, document: "Document", *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._document = document
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self._document._note_content_change()
+
+    def __delitem__(self, key) -> None:
+        super().__delitem__(key)
+        self._document._note_content_change()
+
+    def pop(self, key, *default):
+        had = key in self
+        value = super().pop(key, *default)
+        if had:
+            self._document._note_content_change()
+        return value
+
+    def popitem(self):
+        item = super().popitem()
+        self._document._note_content_change()
+        return item
+
+    def clear(self) -> None:
+        if self:
+            super().clear()
+            self._document._note_content_change()
+
+    def update(self, *args, **kwargs) -> None:
+        super().update(*args, **kwargs)
+        if args or kwargs:
+            self._document._note_content_change()
+
+    def setdefault(self, key, default=None):
+        if key in self:
+            return self[key]
+        super().__setitem__(key, default)
+        self._document._note_content_change()
+        return default
 
 
 class NodeId:
@@ -212,11 +269,22 @@ class DetachRecord:
 class Text(Node):
     """A text node."""
 
-    __slots__ = ("value",)
+    __slots__ = ("_value",)
 
     def __init__(self, document: "Document", value: str):
         super().__init__(document)
-        self.value = value
+        self._value = value
+
+    @property
+    def value(self) -> str:
+        return self._value
+
+    @value.setter
+    def value(self, new_value: str) -> None:
+        # A text rewrite changes serialized output without moving any
+        # node, so it bumps only the content epoch.
+        self._value = new_value
+        self._document._note_content_change()
 
     def text_content(self) -> str:
         return self.value
@@ -253,7 +321,9 @@ class Element(Node):
     ):
         super().__init__(document)
         self.name: QName = QName.parse(name) if isinstance(name, str) else name
-        self.attributes: Dict[str, str] = dict(attributes or {})
+        self.attributes: Dict[str, str] = _ObservedAttributes(
+            document, attributes or {}
+        )
         self.children: List[Node] = []
         self._logical_count = 1
         document.index.add_element(self)
@@ -385,6 +455,13 @@ class Document:
         self._next_node_serial = itertools.count(1)
         self._index: Dict[NodeId, Node] = {}
         self._epoch = 0
+        self._content_epoch = 0
+        #: Serialization cache: (include_ids, declaration) →
+        #: (content_epoch, text).  Written by
+        #: :func:`repro.xmlstore.serializer.serialize`.
+        self._serialize_cache: Dict[Tuple[bool, bool], Tuple[int, str]] = {}
+        #: Canonical-digest cache: (content_epoch, hex digest).
+        self._digest_cache: Optional[Tuple[int, str]] = None
         self.index = StructuralIndex(self)
         self.root: Optional[Element] = None
 
@@ -403,7 +480,7 @@ class Document:
         self._index[node_id] = node
         if isinstance(node, Element):
             self.index.rekey_element(node, old_id)
-        self._epoch += 1
+        self._bump_structure()
 
     # -- structural bookkeeping ---------------------------------------------------
 
@@ -412,13 +489,35 @@ class Document:
         """Monotonic counter of structural mutations; guards index caches."""
         return self._epoch
 
-    def _note_attach(self, parent: Element, child: Node) -> None:
+    @property
+    def content_epoch(self) -> int:
+        """Monotonic counter of *observable* mutations.
+
+        Moves with every structural mutation **and** every attribute or
+        text write — exactly the changes that can alter serialized
+        output.  Keys the serialization and digest caches, so "unchanged
+        since last serialize" is a single integer comparison.
+        """
+        return self._content_epoch
+
+    def _bump_structure(self) -> None:
+        """A structural mutation: both epochs move (attach/detach also
+        changes what serialization would emit)."""
         self._epoch += 1
+        self._content_epoch += 1
+
+    def _note_content_change(self) -> None:
+        """A content-only mutation (attribute/text write): serialization
+        caches are stale, but the index rank cache is not."""
+        self._content_epoch += 1
+
+    def _note_attach(self, parent: Element, child: Node) -> None:
+        self._bump_structure()
         if isinstance(child, Element) and not is_axml_meta_name(child.name):
             _propagate_logical_count(parent, child._logical_count)
 
     def _note_detach(self, parent: Element, child: Node) -> None:
-        self._epoch += 1
+        self._bump_structure()
         if isinstance(child, Element) and not is_axml_meta_name(child.name):
             _propagate_logical_count(parent, -child._logical_count)
 
@@ -431,7 +530,7 @@ class Document:
         if self.root is not None:
             raise XmlStructureError("document already has a root element")
         self.root = Element(self, name, attributes)
-        self._epoch += 1
+        self._bump_structure()
         return self.root
 
     def create_element(
@@ -493,11 +592,73 @@ class Document:
 
     def clone(self, preserve_ids: bool = True) -> "Document":
         """Deep-copy the document (used by the snapshot-rollback baseline)."""
-        copy = Document(self.name)
+        return self.clone_tree(preserve_ids=preserve_ids)
+
+    def clone_tree(
+        self,
+        preserve_ids: bool = True,
+        name: Optional[str] = None,
+        parse_equivalent: bool = False,
+    ) -> "Document":
+        """Direct structural copy of the document — the serialization
+        fast path's replacement for serialize→``parse_document`` round
+        trips (replication, resync, snapshots).
+
+        ``preserve_ids=True`` keeps every node's id (re-registered with
+        the copy, as a compensating action addressing the same ids must
+        resolve on the replica); ``preserve_ids=False`` is the
+        id-rebinding variant — the copy allocates fresh ids.
+
+        ``parse_equivalent=True`` guarantees the copy is byte-identical
+        to what the historical serialize→``parse_document`` route
+        produced.  The parser *normalizes* text — adjacent text runs
+        merge into one node, surrounding whitespace is stripped,
+        whitespace-only runs are dropped — so when the tree is not
+        already in that normal form the clone falls back to the real
+        round trip (counted as ``clone_fallback``; the common case is
+        the direct copy, ``clone_fast``).  Trees built by the parser or
+        by the update layer are always parse-normal.
+        """
+        target_name = self.name if name is None else name
+        if parse_equivalent and not (
+            fast_path_enabled() and _parse_normal(self.root)
+        ):
+            PROF.incr("clone_fallback")
+            from repro.xmlstore.parser import parse_document
+            from repro.xmlstore.serializer import rebind_ids, serialize
+
+            if self.root is None:
+                return Document(target_name)
+            # roundtrip-ok: the approved fallback site — the one place a
+            # serialize→parse round trip is still allowed (see
+            # tools/check_serialization_hygiene.py).
+            copy = parse_document(
+                serialize(self, include_ids=preserve_ids), name=target_name
+            )
+            if preserve_ids:
+                rebind_ids(copy)
+            return copy
+        PROF.incr("clone_fast")
+        copy = Document(target_name)
         if self.root is not None:
-            copy.root = self.root.clone_into(copy, preserve_ids=preserve_ids)
-            copy._epoch += 1
+            copy.root = _fast_clone_element(self.root, copy, preserve_ids)
+            copy._bump_structure()
         return copy
+
+    def restore_from(self, snapshot: "Document", preserve_ids: bool = True) -> None:
+        """Wholesale tree swap: replace this document's tree with a copy
+        of *snapshot*'s (the snapshot-rollback restore path).
+
+        Existing references to this :class:`Document` object stay valid;
+        the node map, structural index and serialization caches are all
+        reset/invalided in one step.
+        """
+        self.root = None
+        self._index.clear()
+        self.index.clear()
+        if snapshot.root is not None:
+            self.root = _fast_clone_element(snapshot.root, self, preserve_ids)
+        self._bump_structure()
 
     def __repr__(self) -> str:
         return f"Document({self.name!r}, serial=d{self.serial}, size={self.size()})"
@@ -517,6 +678,68 @@ def _propagate_logical_count(parent: Element, delta: int) -> None:
         if is_axml_meta_name(node.name):
             break
         node = node.parent
+
+
+def _parse_normal(root: Optional[Element]) -> bool:
+    """True when a serialize→parse round trip of this tree is the
+    identity (modulo node ids).
+
+    The parser normalizes text: strips surrounding whitespace, drops
+    whitespace-only runs, merges adjacent runs.  A tree already in that
+    normal form round-trips to an identical tree, so
+    :meth:`Document.clone_tree` may copy it structurally.
+    """
+    if root is None:
+        return True
+    stack: List[Element] = [root]
+    while stack:
+        element = stack.pop()
+        previous_was_text = False
+        for child in element.children:
+            if isinstance(child, Text):
+                if previous_was_text:
+                    return False
+                value = child.value
+                if not value or value != value.strip():
+                    return False
+                previous_was_text = True
+            else:
+                previous_was_text = False
+                stack.append(child)
+    return True
+
+
+def _fast_clone_element(
+    source: Element, document: Document, preserve_ids: bool
+) -> Element:
+    """Iteratively deep-copy *source* into *document*.
+
+    Unlike :meth:`Node.clone_into` + :meth:`Element.append`, this skips
+    the per-attach cycle check (the copy is built top-down, so no cycle
+    is possible) and copies ``_logical_count`` directly instead of
+    re-propagating it per attach — O(n) instead of O(n²) on deep trees,
+    with identical resulting state (including TraversalMeter charges).
+    """
+    clone = Element(document, source.name, source.attributes)
+    clone._logical_count = source._logical_count
+    if preserve_ids:
+        document._adopt_id(clone, source.node_id)
+    stack: List[Tuple[Element, Element]] = [(source, clone)]
+    while stack:
+        src, dst = stack.pop()
+        for child in src.children:
+            if isinstance(child, Element):
+                child_clone: Node = Element(document, child.name, child.attributes)
+                child_clone._logical_count = child._logical_count
+            else:
+                child_clone = Text(document, child.value)
+            if preserve_ids:
+                document._adopt_id(child_clone, child.node_id)
+            child_clone.parent = dst
+            dst.children.append(child_clone)
+            if isinstance(child, Element):
+                stack.append((child, child_clone))
+    return clone
 
 
 def walk_match(

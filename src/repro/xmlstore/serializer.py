@@ -16,8 +16,11 @@ survive a serialize/parse round trip; the parser side is handled by
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Union
 
+from repro.obs.prof import PROF
+from repro.xmlstore.fastpath import fast_path_enabled
 from repro.xmlstore.nodes import Document, Element, Node, NodeId, Text
 
 #: Attribute used to persist node ids across serialization.
@@ -36,42 +39,81 @@ def escape_attribute(value: str) -> str:
 
 def _open_tag(element: Element, include_ids: bool) -> str:
     parts: List[str] = [element.name.text]
-    attributes = dict(element.attributes)
     if include_ids:
+        # Only the id-bearing rendering needs a merged copy; the common
+        # path sorts the live attribute dict's keys in place.
+        attributes = dict(element.attributes)
         attributes[ID_ATTRIBUTE] = repr(element.node_id)
+    else:
+        attributes = element.attributes
     for key in sorted(attributes):
         parts.append(f'{key}="{escape_attribute(attributes[key])}"')
     return " ".join(parts)
 
 
-def _serialize_node(node: Node, out: List[str], include_ids: bool) -> None:
-    if isinstance(node, Text):
-        out.append(escape_text(node.value))
-        return
-    assert isinstance(node, Element)
-    tag = _open_tag(node, include_ids)
-    if not node.children:
-        out.append(f"<{tag}/>")
-        return
-    out.append(f"<{tag}>")
-    for child in node.children:
-        _serialize_node(child, out, include_ids)
-    out.append(f"</{node.name.text}>")
+def _serialize_tree(node: Node, out: List[str], include_ids: bool) -> None:
+    """Render *node*'s subtree with an explicit stack (no recursion, so
+    document depth is bounded by memory rather than the interpreter's
+    recursion limit)."""
+    stack: List[Union[Node, str]] = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            out.append(item)
+            continue
+        if isinstance(item, Text):
+            out.append(escape_text(item.value))
+            continue
+        assert isinstance(item, Element)
+        tag = _open_tag(item, include_ids)
+        if not item.children:
+            out.append(f"<{tag}/>")
+            continue
+        out.append(f"<{tag}>")
+        stack.append(f"</{item.name.text}>")
+        stack.extend(reversed(item.children))
+
+
+def _render(
+    node: Node, include_ids: bool, declaration: bool, document_level: bool
+) -> str:
+    if document_level:
+        # The quantity the P3 perf gate counts: full-document tree
+        # renders actually performed (cache hits never reach here).
+        PROF.incr("serialize_tree_builds")
+    out: List[str] = []
+    if declaration:
+        out.append('<?xml version="1.0" encoding="UTF-8"?>')
+    _serialize_tree(node, out, include_ids)
+    return "".join(out)
 
 
 def serialize(
     node: Union[Document, Node], include_ids: bool = False, declaration: bool = False
 ) -> str:
-    """Serialize a document or subtree to compact XML text."""
+    """Serialize a document or subtree to compact XML text.
+
+    Document-level output is cached on the document, keyed by its
+    :attr:`~repro.xmlstore.nodes.Document.content_epoch` and the
+    rendering flags; any mutation moves the epoch, so a cached string is
+    returned only while the tree is byte-for-byte unchanged.
+    """
     if isinstance(node, Document):
         if node.root is None:
             return ""
-        node = node.root
-    out: List[str] = []
-    if declaration:
-        out.append('<?xml version="1.0" encoding="UTF-8"?>')
-    _serialize_node(node, out, include_ids)
-    return "".join(out)
+        if fast_path_enabled():
+            key = (include_ids, declaration)
+            epoch = node.content_epoch
+            cached = node._serialize_cache.get(key)
+            if cached is not None and cached[0] == epoch:
+                PROF.incr("serialize_cache_hits")
+                return cached[1]
+            PROF.incr("serialize_cache_misses")
+            text = _render(node.root, include_ids, declaration, document_level=True)
+            node._serialize_cache[key] = (epoch, text)
+            return text
+        return _render(node.root, include_ids, declaration, document_level=True)
+    return _render(node, include_ids, declaration, document_level=False)
 
 
 def _pretty_node(node: Node, out: List[str], depth: int, indent: str) -> None:
@@ -152,6 +194,30 @@ def canonical(node: Union[Document, Node]) -> str:
     ids) produce identical canonical strings.
     """
     return serialize(node, include_ids=False)
+
+
+def canonical_digest(node: Union[Document, Node]) -> str:
+    """SHA-256 hex digest of the canonical text.
+
+    Digest equality *implies* byte-equal canonical text (same order,
+    names, attributes, text), so equal digests prove convergence; the
+    converse does not hold for order-insensitive comparisons, which must
+    fall back to their own canonical form on mismatch (see
+    ``chaos/oracle.py``).  Document digests are cached per content
+    epoch, so steady-state equality checks cost one integer compare and
+    one string compare.
+    """
+    if isinstance(node, Document) and fast_path_enabled():
+        epoch = node.content_epoch
+        cached = node._digest_cache
+        if cached is not None and cached[0] == epoch:
+            PROF.incr("serialize_digest_hits")
+            return cached[1]
+        PROF.incr("serialize_digest_misses")
+        digest = hashlib.sha256(canonical(node).encode("utf-8")).hexdigest()
+        node._digest_cache = (epoch, digest)
+        return digest
+    return hashlib.sha256(canonical(node).encode("utf-8")).hexdigest()
 
 
 def trees_equal(a: Union[Document, Node], b: Union[Document, Node]) -> bool:

@@ -101,6 +101,24 @@ class TestSerialization:
         assert not chain.contains("AP9")
         assert copy.contains("AP9")
 
+    def test_structural_copy_pins_text_roundtrip(self):
+        # copy() is a direct structural clone; this pins it to the
+        # historical from_text/to_text route, node for node.
+        chain = paper_chain()
+        structural = chain.copy()
+        roundtrip = PeerChain.from_text(chain.to_text())
+        assert structural.to_text() == roundtrip.to_text() == chain.to_text()
+        for node in structural.root.iter():
+            twin = roundtrip.find(node.peer_id)
+            assert twin is not None
+            assert twin.super_peer == node.super_peer
+            assert [c.peer_id for c in twin.children] == [
+                c.peer_id for c in node.children
+            ]
+            parent = None if node.parent is None else node.parent.peer_id
+            twin_parent = None if twin.parent is None else twin.parent.peer_id
+            assert parent == twin_parent
+
     @pytest.mark.parametrize(
         "bad", ["", "A", "[A -> ]", "[A -> [B] ||]", "[]", "[A] trailing"]
     )

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fail when code copies trees via serialize→parse round trips.
+
+PR 9's structural clone (``Document.clone_tree``) replaced every
+serialize→``parse_document`` round trip on the hot paths; this check
+keeps them from creeping back in.  Two patterns are flagged:
+
+* ``parse_document(serialize(...))`` — including the multi-line form —
+  which re-parses text that was just rendered from a live tree; use
+  ``Document.clone_tree()`` instead.
+* ``X.from_text(....to_text())`` in one expression (the old
+  ``PeerChain.copy`` shape); give the type a structural ``copy()``.
+
+An occurrence is *approved* by a ``roundtrip-ok`` comment on the same
+line or within the five lines above it (used by the clone fallback in
+``xmlstore/nodes.py``, which deliberately takes the round trip when the
+tree is not parse-normal, and by benchmark baselines that measure the
+round trip itself).
+
+Usage: python tools/check_serialization_hygiene.py  (exit 1 on findings)
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Directories scanned (tests are exempt: they pin round-trip
+#: equivalence on purpose).
+SCAN_DIRS = ("src", "benchmarks")
+
+APPROVAL = "roundtrip-ok"
+APPROVAL_WINDOW = 5
+
+PATTERNS = (
+    (
+        re.compile(r"parse_document\(\s*serialize\("),
+        "parse_document(serialize(...)) round trip — use Document.clone_tree()",
+    ),
+    (
+        re.compile(r"\.from_text\([^)\n]*\.to_text\(\)"),
+        "from_text(to_text()) round trip — use a structural copy()",
+    ),
+)
+
+
+def check_file(path: str) -> list:
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    lines = text.splitlines()
+    findings = []
+    for pattern, message in PATTERNS:
+        for match in pattern.finditer(text):
+            lineno = text.count("\n", 0, match.start()) + 1
+            window = lines[max(0, lineno - 1 - APPROVAL_WINDOW):lineno]
+            if any(APPROVAL in line for line in window):
+                continue
+            findings.append((path, lineno, message))
+    return findings
+
+
+def main() -> int:
+    findings = []
+    for scan_dir in SCAN_DIRS:
+        for dirpath, dirnames, filenames in os.walk(os.path.join(ROOT, scan_dir)):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                findings.extend(check_file(os.path.join(dirpath, filename)))
+    for path, lineno, message in findings:
+        rel = os.path.relpath(path, ROOT)
+        print(f"{rel}:{lineno}: {message}", file=sys.stderr)
+    if findings:
+        print(
+            f"\n{len(findings)} serialization round trip(s) found; copy trees "
+            f"with Document.clone_tree() / a structural copy(), or mark a "
+            f"deliberate fallback with a '{APPROVAL}' comment.",
+            file=sys.stderr,
+        )
+        return 1
+    print("serialization hygiene: no unapproved round trips")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
