@@ -192,6 +192,9 @@ class Cluster:
         self.network = SimNetwork(hop_latency=hop_latency)
         self.injector = FailureInjector(self.network)
         self.replication = ReplicationManager(self.network)
+        #: The placement directory — the routing-truth holder maps the
+        #: replication manager and elastic sharding share.
+        self.directory = self.replication.directory
         self.peers: Dict[str, AXMLPeer] = {}
         #: invocation topology: peer → list of (child_peer, method).
         self.topology: Topology = {}
@@ -488,6 +491,11 @@ class RunConfig:
     #: Committed entries buffered per channel before one WAL-ship
     #: message goes on the wire.
     ship_batch: int = 1
+    #: Elastic sharding: place provider shards by the consistent-hash
+    #: ring (``repro.p2p.sharding``) with live migration faults.
+    sharding: bool = False
+    #: Spare peers that join the ring mid-run (needs ``sharding``).
+    shard_spares: int = 0
 
     def to_chaos_config(self):
         """The equivalent :class:`~repro.chaos.ChaosConfig` (with the
@@ -520,6 +528,8 @@ class RunConfig:
             wal_batch=self.wal_batch,
             replicas=self.replicas,
             ship_batch=self.ship_batch,
+            sharding=self.sharding,
+            shard_spares=self.shard_spares,
         )
 
     @classmethod
@@ -618,6 +628,15 @@ def add_run_arguments(parser) -> None:
         "--ship-batch", type=int, default=RunConfig.ship_batch,
         dest="ship_batch", metavar="N",
         help="committed WAL entries batched per ship message")
+    parser.add_argument(
+        "--sharding", action="store_true",
+        help="consistent-hash shard placement with live migration "
+             "(docs/SHARDING.md)")
+    parser.add_argument(
+        "--shard-spares", type=int, default=RunConfig.shard_spares,
+        dest="shard_spares", metavar="K",
+        help="spare peers that join the ring mid-run and trigger "
+             "shard rebalancing (needs --sharding)")
 
 
 def add_sweep_arguments(parser, workers_help: str = "") -> None:

@@ -29,7 +29,12 @@ relaxed-atomicity contract:
 * every alive replica of a replicated document serializes identically
   to its primary after settlement (``replica_diverged``): WAL shipping
   plus settlement resync must leave the whole replica set convergent
-  (see ``docs/REPLICATION.md``).
+  (see ``docs/REPLICATION.md``);
+* under elastic sharding (``docs/SHARDING.md``) every shard routes to
+  exactly one alive primary that actually holds it (``shard_lost``),
+  no copy survives outside the directory's holder list
+  (``shard_duplicated``), and the directory agrees with the
+  consistent-hash ring's assignment (``directory_stale``).
 
 When the cluster replicates documents, a committed transaction's
 markers are expected on *every* holder of the touched document — the
@@ -62,6 +67,9 @@ VIOLATION_KINDS = (
     "orphan_chain",
     "wal_tail_inconsistent",
     "replica_diverged",
+    "shard_lost",
+    "shard_duplicated",
+    "directory_stale",
 )
 
 _MARKER = re.compile(r"<chaos\b([^>]*?)/?>")
@@ -167,6 +175,7 @@ class AtomicityOracle:
         violations.extend(self._check_chains(peers))
         violations.extend(self._check_wal_tails(peers))
         violations.extend(self._check_replicas(peers))
+        violations.extend(self._check_shards(peers))
         return sorted(
             violations,
             key=lambda v: (v.kind, v.label, v.peer, v.document, v.detail),
@@ -230,10 +239,68 @@ class AtomicityOracle:
     def _effect_holders(replication, effect: ExpectedEffect) -> List[str]:
         """Every peer that must carry *effect*'s marker after settlement."""
         if replication is not None:
+            directory = getattr(replication, "directory", None)
+            if directory is not None and directory.is_sharded(effect.document):
+                # Sharded placement: the directory's holder list is
+                # authoritative regardless of the workload's static
+                # peer hint (the ring may have moved the shard).
+                holders = replication.holders(effect.document)
+                if holders:
+                    return list(holders)
             holders = replication.holders(effect.document)
             if len(holders) > 1 and effect.peer in holders:
                 return list(holders)
         return [effect.peer]
+
+    def _check_shards(self, peers: Mapping[str, object]) -> List[Violation]:
+        """The elastic-sharding predicates (``docs/SHARDING.md``).
+
+        * ``shard_lost`` — no alive directory holder actually carries
+          the shard's document: every key must keep routing to a live
+          copy after settlement;
+        * ``shard_duplicated`` — a copy survives on a peer *outside*
+          the directory's holder list (a migration source that was
+          never trimmed, a resurrected stale copy);
+        * ``directory_stale`` — the directory's holder list disagrees
+          with the ring's assignment: routing truth drifted from
+          placement truth.
+        """
+        replication = self._replication(peers)
+        directory = getattr(replication, "directory", None)
+        if directory is None or not directory.sharded_docs:
+            return []
+        violations: List[Violation] = []
+        for doc_name in sorted(directory.sharded_docs):
+            holders = directory.document_map.get(doc_name, [])
+            alive = [
+                h for h in holders
+                if h in peers
+                and not peers[h].disconnected
+                and doc_name in peers[h].documents
+            ]
+            if not alive:
+                violations.append(Violation(
+                    "shard_lost", document=doc_name,
+                    detail="no alive holder carries the document",
+                ))
+            for peer_id, peer in sorted(peers.items()):
+                if doc_name in peer.documents and peer_id not in holders:
+                    violations.append(Violation(
+                        "shard_duplicated", peer=peer_id, document=doc_name,
+                        detail="copy outside the directory's holder list",
+                    ))
+            ring = getattr(directory, "ring", None)
+            if ring is not None:
+                want = ring.lookup(doc_name)
+                if want and list(holders) != list(want):
+                    violations.append(Violation(
+                        "directory_stale", document=doc_name,
+                        detail=(
+                            f"directory holders {list(holders)} != "
+                            f"ring assignment {list(want)}"
+                        ),
+                    ))
+        return violations
 
     def _check_replicas(self, peers: Mapping[str, object]) -> List[Violation]:
         """``replica_diverged``: every alive replica ≡ its primary.
@@ -266,7 +333,12 @@ class AtomicityOracle:
             primary = peers.get(holders[0])
             if primary is None or primary.disconnected:
                 continue
-            primary_doc = primary.documents[doc_name]
+            primary_doc = primary.documents.get(doc_name)
+            if primary_doc is None:
+                # No copy at the registered primary: divergence is
+                # undefined — for sharded documents _check_shards flags
+                # this as shard_lost.
+                continue
             primary_digest = canonical_digest(primary_doc.document)
             primary_xml: Optional[str] = None
             for holder in holders[1:]:

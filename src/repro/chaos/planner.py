@@ -29,7 +29,14 @@ the failure dimensions of §3.2–§3.3:
   ``docs/REPLICATION.md``): a whole-process crash of a replicated
   primary at an absolute time, and a replica whose WAL-apply loop is
   suspended so it falls behind the shipped stream.  Only planned when
-  the run hosts replicas, again from a separate RNG stream.
+  the run hosts replicas, again from a separate RNG stream;
+* ``shard_join`` / ``shard_retire`` / ``crash_during_migration`` —
+  elastic-sharding faults (see ``docs/SHARDING.md``): a spare peer
+  joins the consistent-hash ring (triggering live shard migrations), a
+  member drains out of it, and a migration endpoint crashes at the
+  ``copy`` or ``cutover`` barrier.  Only planned when the run enables
+  ``sharding``, from the dedicated ``"shardplan"`` stream appended
+  after every existing kind — old seeds keep their exact plan prefix.
 
 Every event is a plain dataclass that round-trips through JSON, so a
 plan can be minimized (``repro.chaos.shrink``) and replayed from a
@@ -55,6 +62,9 @@ KINDS = (
     "crash",
     "kill_primary",
     "lag_replica",
+    "shard_join",
+    "shard_retire",
+    "crash_during_migration",
 )
 
 
@@ -138,6 +148,8 @@ class FaultPlanner:
         crash_rate: float = 0.0,
         checkpoints: bool = False,
         replicas: int = 0,
+        sharding: bool = False,
+        spares: Sequence[str] = (),
     ):
         self.seed = seed
         self.providers = list(providers)
@@ -156,6 +168,12 @@ class FaultPlanner:
         #: from their own RNG stream, appended last — existing seeds'
         #: plans keep their exact event prefix.
         self.replicas = replicas
+        #: Elastic sharding: plan ring joins/retires for the *spares*
+        #: and migration-point crashes, from the ``"shardplan"`` stream
+        #: appended after every existing kind — plans for existing
+        #: seeds without sharding are byte-identical to before.
+        self.sharding = sharding
+        self.spares = list(spares)
 
     def plan(self) -> FaultPlan:
         rng = SeededRng(stable_seed(self.seed, "plan"))
@@ -197,6 +215,36 @@ class FaultPlanner:
                     events.append(self._kill_primary(repl_rng))
             for _ in range(int(round(self.fault_rate * self.txns))):
                 events.append(self._lag_replica(repl_rng))
+        # Sharding events come from the dedicated "shardplan" stream,
+        # appended after everything else: plans for existing seeds
+        # without sharding keep their exact event prefix.
+        if self.sharding and self.providers:
+            shard_rng = SeededRng(stable_seed(self.seed, "shardplan"))
+            for spare in self.spares:
+                join_time = round(shard_rng.uniform(0.05, 0.6 * self.horizon), 4)
+                events.append(
+                    FaultEvent(kind="shard_join", peer=spare, time=join_time)
+                )
+                if shard_rng.random() < 0.5:
+                    retire_time = round(
+                        shard_rng.uniform(join_time + 0.3, self.horizon + 0.3), 4
+                    )
+                    events.append(
+                        FaultEvent(
+                            kind="shard_retire", peer=spare, time=retire_time
+                        )
+                    )
+            if len(self.providers) > 1 and shard_rng.random() < 0.5:
+                peer = shard_rng.choice(self.providers)
+                retire_time = round(
+                    shard_rng.uniform(0.05, 0.6 * self.horizon), 4
+                )
+                events.append(
+                    FaultEvent(kind="shard_retire", peer=peer, time=retire_time)
+                )
+            if self.crash_rate > 0:
+                for _ in range(int(round(self.crash_rate * self.txns))):
+                    events.append(self._crash_during_migration(shard_rng))
         return FaultPlan(tuple(events))
 
     # -- samplers ------------------------------------------------------
@@ -278,6 +326,23 @@ class FaultPlanner:
         time = round(rng.uniform(0.05, self.horizon), 4)
         delay = round(rng.uniform(0.5, 2.0), 4)
         return FaultEvent(kind="lag_replica", peer=peer, time=time, delay=delay)
+
+    def _crash_during_migration(self, rng: SeededRng) -> FaultEvent:
+        """Crash one endpoint of the next live shard migration.
+
+        ``trigger`` names the role (``source``/``target``), ``point``
+        the migration phase (``copy``/``cutover``).  The runner *arms*
+        the fault on the shard coordinator; it fires when a migration
+        reaches that phase (there is no way to know at plan time which
+        peer will be migrating).  The victim restarts ``delay`` later
+        and recovers from its WAL (``rejoin(mode="in_doubt")``).
+        """
+        role = rng.choice(["source", "target"])
+        point = rng.choice(["copy", "cutover"])
+        delay = round(rng.uniform(0.2, 1.0), 4)
+        return FaultEvent(
+            kind="crash_during_migration", trigger=role, point=point, delay=delay
+        )
 
     def _message_chaos(self, rng: SeededRng) -> FaultEvent:
         return FaultEvent(

@@ -94,6 +94,14 @@ class ChaosConfig:
     #: Committed entries buffered per ship channel before one
     #: :class:`~repro.p2p.messages.WalShipMessage` goes on the wire.
     ship_batch: int = 1
+    #: Elastic sharding: place provider documents/services by a
+    #: consistent-hash ring (``repro.p2p.sharding``) instead of the
+    #: static one-doc-per-provider map, and plan ``shard_join`` /
+    #: ``shard_retire`` / ``crash_during_migration`` faults.
+    sharding: bool = False
+    #: Spare peers (``SP1`` …) that start outside the ring and join it
+    #: mid-run, triggering live shard migrations (needs ``sharding``).
+    shard_spares: int = 0
 
     def __post_init__(self) -> None:
         if self.mutate and self.mutate not in MUTATIONS:
@@ -133,6 +141,12 @@ class ChaosConfig:
             raise ValueError(
                 "ship_batch tunes WAL shipping; it requires replicas > 0"
             )
+        if self.shard_spares < 0:
+            raise ValueError("shard_spares must be >= 0")
+        if self.shard_spares > 0 and not self.sharding:
+            raise ValueError(
+                "shard_spares adds ring members; it requires sharding=True"
+            )
 
     @property
     def horizon(self) -> float:
@@ -153,6 +167,11 @@ class ChaosConfig:
             out.pop("replicas")
         if self.ship_batch == 1:
             out.pop("ship_batch")
+        # ... and the sharding knobs.
+        if not self.sharding:
+            out.pop("sharding")
+        if self.shard_spares == 0:
+            out.pop("shard_spares")
         return out
 
     @classmethod
@@ -237,44 +256,113 @@ def build_chaos_cluster(config: ChaosConfig):
         cluster.add_peer(origin, super_peer=True)
         cluster.host_document(origin, f"<O{j}><items/></O{j}>", name=f"O{j}")
     for i, provider in enumerate(providers, start=1):
-        peer_kwargs = {}
-        if scratch is not None:
-            if config.checkpoint_every > 0 or config.wal_batch > 1:
-                from repro.txn.modes import DurabilityPolicy
-
-                peer_kwargs["durability"] = DurabilityPolicy(
-                    directory=scratch.path(provider),
-                    wal_batch=config.wal_batch,
-                    checkpoint_every=config.checkpoint_every,
-                )
-            else:
-                # Bare path: the exact PR 5 wiring, so checkpoint-less
-                # runs stay byte-identical.
-                peer_kwargs["durability"] = scratch.path(provider)
-        cluster.add_peer(provider, **peer_kwargs)
+        cluster.add_peer(provider, **_durability_kwargs(config, scratch, provider))
+        if config.sharding:
+            # Placement is the ring's job (_place_sharded), not the
+            # static one-doc-per-provider map.
+            continue
         cluster.host_document(provider, f"<D{i}><items/></D{i}>", name=f"D{i}")
-        delegations = [
-            (f"AP{c}", f"S{c}") for c in _provider_children(i, config.providers)
-        ]
-        descriptor = ServiceDescriptor(
-            method_name=f"S{i}",
-            kind="delegating",
-            params=(ParamSpec("tag"), ParamSpec("step")),
-            target_document=f"D{i}",
-            description="chaos marker service",
-        )
-        cluster.host_service(provider, DelegatingService(
-            descriptor, delegations,
-            local_action_template=_marker_template(f"D{i}"),
-        ))
+        cluster.host_service(provider, _chaos_service(i, config.providers))
+    for spare in _spare_names(config):
+        cluster.add_peer(spare, **_durability_kwargs(config, scratch, spare))
     if config.handlers:
         policy = [FaultPolicy(fault_names={CHAOS_FAULT}, retry_times=2)]
         for peer_id in origins + providers:
             for i in range(1, config.providers + 1):
                 cluster.peer(peer_id).set_fault_policy(f"S{i}", policy)
-    if config.replicas > 0:
+    if config.sharding:
+        _place_sharded(cluster, config, providers)
+    elif config.replicas > 0:
         _place_replicas(cluster, config, providers)
     return cluster, origins, providers
+
+
+def _durability_kwargs(config: ChaosConfig, scratch, peer_id: str) -> Dict[str, object]:
+    if scratch is None:
+        return {}
+    if config.checkpoint_every > 0 or config.wal_batch > 1:
+        from repro.txn.modes import DurabilityPolicy
+
+        return {
+            "durability": DurabilityPolicy(
+                directory=scratch.path(peer_id),
+                wal_batch=config.wal_batch,
+                checkpoint_every=config.checkpoint_every,
+            )
+        }
+    # Bare path: the exact PR 5 wiring, so checkpoint-less runs stay
+    # byte-identical.
+    return {"durability": scratch.path(peer_id)}
+
+
+def _spare_names(config: ChaosConfig) -> List[str]:
+    return [f"SP{k}" for k in range(1, config.shard_spares + 1)]
+
+
+def _chaos_service(index: int, providers: int) -> DelegatingService:
+    """The marker service ``S<index>``: inserts one ``<chaos/>`` marker
+    into ``D<index>`` and delegates down the binary heap.  Delegation
+    targets are the *build-time* peers; under sharding the placement
+    directory reroutes them at invoke time."""
+    delegations = [
+        (f"AP{c}", f"S{c}") for c in _provider_children(index, providers)
+    ]
+    descriptor = ServiceDescriptor(
+        method_name=f"S{index}",
+        kind="delegating",
+        params=(ParamSpec("tag"), ParamSpec("step")),
+        target_document=f"D{index}",
+        description="chaos marker service",
+    )
+    return DelegatingService(
+        descriptor, delegations,
+        local_action_template=_marker_template(f"D{index}"),
+    )
+
+
+def _place_sharded(cluster, config: ChaosConfig, providers: Sequence[str]) -> None:
+    """Ring-driven placement: every shard ``D<i>`` (with its co-located
+    service ``S<i>``) lands on ``ring.lookup("D<i>")`` — primary first,
+    then ``config.replicas`` replica holders.  Spares start *outside*
+    the ring; planned ``shard_join`` events bring them in mid-run.
+
+    As with :func:`_place_replicas`, every peer gets a
+    ``PeerDisconnected`` retry policy for every service so forward
+    recovery engages (and consults the directory/failover selector)
+    when a shard holder dies mid-invocation.
+    """
+    from repro.p2p.sharding import ShardCoordinator, ShardRing
+    from repro.txn.recovery import DISCONNECT_FAULT
+
+    cluster.replication.ship_batch = config.ship_batch
+    ring = ShardRing(
+        seed=stable_seed(config.seed, "ring"),
+        members=providers,
+        vnodes=16,
+        replicas=config.replicas,
+    )
+    coordinator = ShardCoordinator(
+        cluster.network, cluster.replication, ring,
+        scratch=getattr(cluster, "scratch", None),
+    )
+    cluster.shard_coordinator = coordinator
+    for i in range(1, config.providers + 1):
+        document, method = f"D{i}", f"S{i}"
+        owners = ring.lookup(document)
+        cluster.host_document(
+            owners[0], f"<D{i}><items/></D{i}>", name=document
+        )
+        cluster.host_service(owners[0], _chaos_service(i, config.providers))
+        coordinator.register_shard(document, method)
+        for holder in owners[1:]:
+            cluster.replication.replicate_document(document, holder)
+            cluster.replication.replicate_service(method, holder)
+    policies = [FaultPolicy(fault_names={DISCONNECT_FAULT}, retry_times=2)]
+    if config.handlers:
+        policies.insert(0, FaultPolicy(fault_names={CHAOS_FAULT}, retry_times=2))
+    for peer in cluster.peers.values():
+        for i in range(1, config.providers + 1):
+            peer.set_fault_policy(f"S{i}", policies)
 
 
 def _place_replicas(cluster, config: ChaosConfig, providers: Sequence[str]) -> None:
@@ -362,6 +450,8 @@ def apply_plan(cluster, config: ChaosConfig, plan: FaultPlan) -> None:
     """Script every planned event onto the injector / message hook."""
     message_event: Optional[FaultEvent] = None
     for event in plan.events:
+        if config.sharding:
+            event = _resharded(cluster, event)
         if event.kind == "service_fault":
             cluster.injector.fault_service(
                 event.peer, event.method, event.fault_name,
@@ -382,15 +472,86 @@ def apply_plan(cluster, config: ChaosConfig, plan: FaultPlan) -> None:
                 tear_checkpoint=event.tear_checkpoint,
             )
         elif event.kind == "kill_primary":
-            cluster.injector.kill_at(
-                event.peer, event.time, restart_delay=event.delay
-            )
+            if config.sharding:
+                # The primary of the planned peer's shard moves with
+                # migrations; resolve it when the kill fires.
+                _schedule_kill_primary(cluster, event)
+            else:
+                cluster.injector.kill_at(
+                    event.peer, event.time, restart_delay=event.delay
+                )
         elif event.kind == "lag_replica":
             _schedule_lag(cluster, event)
+        elif event.kind == "shard_join":
+            cluster.network.events.schedule_at(
+                event.time,
+                lambda e=event: cluster.shard_coordinator.add_peer(e.peer),
+            )
+        elif event.kind == "shard_retire":
+            cluster.network.events.schedule_at(
+                event.time,
+                lambda e=event: cluster.shard_coordinator.retire_peer(e.peer),
+            )
+        elif event.kind == "crash_during_migration":
+            cluster.shard_coordinator.arm_crash(
+                event.trigger, event.point, event.delay
+            )
         else:
             raise ValueError(f"unknown fault event kind {event.kind!r}")
     if message_event is not None:
         _install_message_chaos(cluster, config, message_event)
+
+
+def _resharded(cluster, event: FaultEvent) -> FaultEvent:
+    """Retarget a planned fault at the shard's *current* holders.
+
+    The planner scripts faults against the static heap topology
+    (``AP<i>`` runs ``S<i>``); under sharding the ring decides who
+    actually executes what, so point faults are remapped to the
+    placement directory's primary at apply time.  Timed kinds that the
+    runner already resolves at fire time (``kill_primary``,
+    ``lag_replica``) and placement-free kinds pass through unchanged.
+    """
+    directory = cluster.network.directory
+
+    def primary_of(method: str) -> str:
+        holders = directory.service_map.get(method, [])
+        return holders[0] if holders else ""
+
+    if event.kind in ("service_fault", "crash"):
+        peer = primary_of(event.method)
+        if peer and peer != event.peer:
+            return replace(event, peer=peer)
+    elif event.kind == "disconnect_point":
+        trigger = primary_of(event.method)
+        parent_index = int(event.method[1:]) // 2
+        peer = primary_of(f"S{parent_index}") if parent_index >= 1 else ""
+        if trigger and peer and peer != trigger:
+            return replace(event, peer=peer, trigger=trigger)
+    return event
+
+
+def _schedule_kill_primary(cluster, event: FaultEvent) -> None:
+    """Sharded ``kill_primary``: crash whoever is primary for the
+    planned peer's shard *when the event fires* (migrations may have
+    moved it), restarting in-doubt ``delay`` later."""
+    document = f"D{event.peer[2:]}"
+
+    def fire() -> None:
+        holders = cluster.network.directory.document_map.get(document, [])
+        victim = holders[0] if holders else event.peer
+        peer = cluster.network.get_peer(victim)
+        if peer.disconnected:
+            return
+        peer.crash()
+
+        def restart() -> None:
+            if peer.disconnected:
+                peer.rejoin(mode="in_doubt")
+
+        cluster.network.events.schedule(event.delay, restart)
+
+    cluster.network.events.schedule_at(event.time, fire)
 
 
 def _schedule_lag(cluster, event: FaultEvent) -> None:
@@ -522,6 +683,8 @@ def run_chaos(config: ChaosConfig, plan: Optional[FaultPlan] = None) -> ChaosRun
                 crash_rate=config.crash_rate,
                 checkpoints=config.checkpoint_every > 0,
                 replicas=config.replicas,
+                sharding=config.sharding,
+                spares=_spare_names(config),
             ).plan()
         apply_plan(cluster, config, plan)
 
@@ -611,8 +774,16 @@ def _settle_and_check(
     # (3b) converge the replica sets: lift lag, flush ship buffers,
     # apply in-flight frames, resync crash-restarted holders.  After
     # this every alive holder must equal its primary (replica_diverged).
-    if config.replicas > 0:
+    # Sharded runs ship between migration endpoints even with
+    # replicas=0, so they settle the channels too.
+    if config.replicas > 0 or config.sharding:
         cluster.replication.settle(drain=cluster.run_all)
+    # (3c) reconcile shard placement with the ring: parked/crashed
+    # migrations converge, stray copies drop, the directory ends up
+    # exactly at the ring's assignment (else the oracle's
+    # directory_stale/shard_* predicates fire).
+    if config.sharding:
+        cluster.shard_coordinator.settle()
     # (4) hygiene: release per-txn protocol state everywhere.
     skipped_stale = config.mutate != "stale_chain"
     for peer in cluster.peers.values():
@@ -659,6 +830,15 @@ def describe_plan(plan: FaultPlan) -> List[str]:
             lines.append(
                 f"lag_replica of {event.peer} @t={event.time} "
                 f"for {event.delay}"
+            )
+        elif event.kind == "shard_join":
+            lines.append(f"shard_join {event.peer} @t={event.time}")
+        elif event.kind == "shard_retire":
+            lines.append(f"shard_retire {event.peer} @t={event.time}")
+        elif event.kind == "crash_during_migration":
+            lines.append(
+                f"crash_during_migration {event.trigger} at {event.point} "
+                f"restart after {event.delay}"
             )
         else:
             lines.append(

@@ -120,6 +120,11 @@ SUMMARY_LOCAL_COUNTERS = frozenset(
         "entry_codec_hits",
         "entry_codec_misses",
         "replica_digest_matches",
+        # Directory consultations happen on every routed invocation —
+        # including ones outside the profiled block (settlement,
+        # benches poking at clusters) — so the count is cache-like
+        # bookkeeping, not a logical run event.
+        "directory_lookups",
     }
 )
 

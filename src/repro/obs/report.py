@@ -48,6 +48,19 @@ def run_summary(metrics: Any, spans: Any = None) -> Dict[str, Any]:
         # Chaos-harness accounting (repro.chaos): runs swept, oracle
         # violations, shares settled after the fact.
         summary["chaos"] = chaos
+    sharding = {
+        key: value
+        for key, value in counters.items()
+        if key == "migrations"
+        or key.startswith(("shard_", "ring_", "migration_"))
+    }
+    if sharding:
+        # Elastic-sharding accounting (repro.p2p.sharding): ring
+        # membership churn, key moves, live migrations and their
+        # disruption (deferred txns, WAL-tail entries shipped).
+        # Absent entirely for non-sharded runs, so their summaries
+        # stay byte-identical.
+        summary["sharding"] = sharding
     profile = profile_summary(counters)
     if profile:
         # Hot-path micro-profile (repro.obs.prof): index hits vs. tree
@@ -118,6 +131,11 @@ def render_report(metrics: Any, spans: Any = None, title: str = "run report") ->
     if "chaos" in summary:
         lines.append("-- chaos --")
         for name, value in sorted(summary["chaos"].items()):
+            lines.append(f"  {name:<22} {value}")
+
+    if "sharding" in summary:
+        lines.append("-- sharding --")
+        for name, value in sorted(summary["sharding"].items()):
             lines.append(f"  {name:<22} {value}")
 
     if "profile" in summary:

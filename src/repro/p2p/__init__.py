@@ -27,6 +27,7 @@ from repro.p2p.distribution import (
     remote_subquery,
 )
 from repro.p2p.streams import SiblingStream, StreamData, open_stream
+from repro.p2p.sharding import PlacementDirectory, ShardCoordinator, ShardRing
 
 __all__ = [
     "ChainNode",
@@ -47,4 +48,7 @@ __all__ = [
     "SiblingStream",
     "StreamData",
     "open_stream",
+    "PlacementDirectory",
+    "ShardCoordinator",
+    "ShardRing",
 ]

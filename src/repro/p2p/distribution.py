@@ -28,7 +28,6 @@ invocation — is exactly how we implement them:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -42,9 +41,6 @@ from repro.services.service import QueryService
 from repro.xmlstore.nodes import Document, Element
 from repro.xmlstore.path import parse_path
 from repro.xmlstore.serializer import serialize
-
-_fragment_counter = itertools.count(1)
-
 
 @dataclass
 class FragmentPlacement:
@@ -88,7 +84,11 @@ def distribute_fragment(
         raise P2PError("cannot distribute the document root")
     parent = subtree.parent
     index = subtree.index_in_parent()
-    serial = next(_fragment_counter)
+    # Run-scoped serial (the network owns it): a module-global
+    # itertools.count here survived across sweep cells in one process
+    # while forked parallel workers started fresh, threatening
+    # serial↔parallel summary byte-identity.
+    serial = owner.network.next_fragment_serial()
     fragment_doc_name = f"{document_name}_frag{serial}"
     method_name = f"getFragment_{serial}"
 

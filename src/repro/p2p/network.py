@@ -65,6 +65,20 @@ class SimNetwork:
         #: Optional chaos hook consulted for every one-way notification
         #: (see :meth:`set_message_hook`); ``None`` = pristine network.
         self.message_hook: Optional[MessageHook] = None
+        #: The placement directory (set by
+        #: :class:`~repro.p2p.sharding.PlacementDirectory` on
+        #: construction); routing layers consult it when present.
+        self.directory = None
+        #: Run-scoped fragment serial (see :func:`next_fragment_serial`):
+        #: a module-global counter here would leak across sweep cells in
+        #: one process while forked parallel workers start fresh,
+        #: breaking serial↔parallel summary byte-identity.
+        self._fragment_serial = 0
+
+    def next_fragment_serial(self) -> int:
+        """The next distribution serial for this network (1-based)."""
+        self._fragment_serial += 1
+        return self._fragment_serial
 
     # -- membership -------------------------------------------------------
 

@@ -380,6 +380,15 @@ class AXMLPeer:
         """
         self._check_alive()
         params = dict(params or {})
+        directory = getattr(self.network, "directory", None)
+        if directory is not None:
+            # Shard-placed methods follow the placement directory, not
+            # the (possibly stale) static target — delegations written
+            # against the build-time topology keep working after a live
+            # migration moves the primary.
+            routed = directory.route_service(method_name)
+            if routed is not None:
+                target_peer = routed
         context = self.manager.context(txn_id)
         context.require_active()
         spans = self.network.spans

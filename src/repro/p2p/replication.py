@@ -90,10 +90,14 @@ class ReplicationManager:
             raise P2PError(f"ship_batch must be >= 1, got {ship_batch}")
         #: Committed entries per channel buffered before one ship message.
         self.ship_batch = ship_batch
-        #: document name → peer ids holding a replica (primary first).
-        self._document_holders: Dict[str, List[str]] = {}
-        #: method name → peer ids hosting the service.
-        self._service_holders: Dict[str, List[str]] = {}
+        #: The placement directory — the single source of routing truth.
+        #: The manager's holder maps live *in* the directory (the
+        #: ``_document_holders`` / ``_service_holders`` properties
+        #: delegate), so shard migrations flipping directory ownership
+        #: are instantly visible to replication, failover and routing.
+        from repro.p2p.sharding import PlacementDirectory
+
+        self.directory = PlacementDirectory(network)
         #: Methods that were explicitly *replicated* (not merely hosted
         #: on several peers) — the only ones failover may retarget.
         self._replicated_methods: Set[str] = set()
@@ -113,6 +117,16 @@ class ReplicationManager:
         # Make the manager discoverable by peers (peer-independent
         # compensation fallback looks it up on the network).
         network.replication = self
+
+    @property
+    def _document_holders(self) -> Dict[str, List[str]]:
+        """document name → peer ids holding a replica (primary first)."""
+        return self.directory.document_map
+
+    @property
+    def _service_holders(self) -> Dict[str, List[str]]:
+        """method name → peer ids hosting the service."""
+        return self.directory.service_map
 
     # -- documents ---------------------------------------------------------
 
@@ -253,6 +267,13 @@ class ReplicationManager:
                     continue
                 channel = self._channel(source_peer, holder)
                 channel.pending.append(entry)
+                if (
+                    entry.document_name,
+                    holder,
+                ) in self.directory.active_migration_routes:
+                    # The WAL tail of a live shard migration: committed
+                    # between the copy barrier and the cutover.
+                    self.network.metrics.incr("migration_entries_shipped")
                 shipped_any = True
         if not shipped_any:
             return

@@ -350,7 +350,18 @@ class TransactionScheduler:
         dispatch time, the invocation goes straight to the most-preferred
         alive holder instead of failing at the origin and waiting for
         forward recovery to rediscover the same fact.
+
+        Shard-placed services route through the placement directory
+        first: under elastic sharding the workload's static target is
+        only a hint, and the directory knows where the primary lives
+        *now* (possibly mid-migration).  Non-sharded methods fall
+        through with ``route_service`` returning ``None``.
         """
+        directory = getattr(self.network, "directory", None)
+        if directory is not None:
+            routed = directory.route_service(operation.method_name)
+            if routed is not None:
+                return routed
         replication = getattr(self.network, "replication", None)
         if replication is None:
             return operation.target_peer

@@ -137,4 +137,7 @@ class TestOracleUnit:
             "orphan_chain",
             "wal_tail_inconsistent",
             "replica_diverged",
+            "shard_lost",
+            "shard_duplicated",
+            "directory_stale",
         }

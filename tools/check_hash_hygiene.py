@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Fail when placement-critical code calls builtin ``hash()``.
+
+Builtin ``hash(str)`` is salted per process (``PYTHONHASHSEED``), so any
+placement, routing, or scheduling decision derived from it silently
+varies between runs — exactly the nondeterminism this repo's
+byte-identical-summary guarantee forbids.  The deterministic substitutes
+are :func:`repro.sim.rng.stable_seed` (crc32-based) for seeds and the
+crc32 point hashing in :class:`repro.p2p.sharding.ShardRing` for ring
+placement.
+
+The check parses each file with :mod:`ast` and flags ``hash(...)`` call
+nodes — not text matches, so comments and docstrings that merely
+*mention* ``hash()`` (``p2p/peer.py``, ``sim/rng.py``) pass.  A call is
+*approved* by a ``hash-ok`` comment on the same line, for code whose
+hash genuinely never feeds placement.
+
+Usage: python tools/check_hash_hygiene.py  (exit 1 on findings)
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Packages where every hash must be deterministic: the P2P substrate
+#: (placement, routing, replication) and the simulation kernel
+#: (scheduling, RNG streams).
+SCAN_DIRS = (
+    os.path.join("src", "repro", "p2p"),
+    os.path.join("src", "repro", "sim"),
+)
+
+APPROVAL = "hash-ok"
+
+MESSAGE = (
+    "builtin hash() is PYTHONHASHSEED-salted — use stable_seed()/crc32 "
+    "(see repro.sim.rng, repro.p2p.sharding)"
+)
+
+
+def check_file(path: str) -> list:
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, f"unparseable: {exc.msg}")]
+    lines = text.splitlines()
+    findings = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+        ):
+            line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+            if APPROVAL in line:
+                continue
+            findings.append((path, node.lineno, MESSAGE))
+    return findings
+
+
+def main() -> int:
+    findings = []
+    for scan_dir in SCAN_DIRS:
+        for dirpath, dirnames, filenames in os.walk(os.path.join(ROOT, scan_dir)):
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                findings.extend(check_file(os.path.join(dirpath, filename)))
+    for path, lineno, message in findings:
+        rel = os.path.relpath(path, ROOT)
+        print(f"{rel}:{lineno}: {message}", file=sys.stderr)
+    if findings:
+        print(
+            f"\n{len(findings)} builtin hash() call(s) in placement-critical "
+            f"code; derive values with stable_seed()/zlib.crc32, or mark a "
+            f"non-placement use with a '{APPROVAL}' comment.",
+            file=sys.stderr,
+        )
+        return 1
+    print("hash hygiene: no builtin hash() in placement-critical code")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
